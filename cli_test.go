@@ -1,0 +1,195 @@
+package rsonpath_test
+
+// End-to-end smoke tests for the command-line tools: build each binary and
+// drive it the way a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a test temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIRsonpath(t *testing.T) {
+	bin := buildTool(t, "rsonpath")
+	doc := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(doc, []byte(`{"a": {"url": "x"}, "b": [{"url": "y"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "$..url", doc).Output()
+	if err != nil {
+		t.Fatalf("rsonpath: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "\"x\"\n\"y\"" {
+		t.Fatalf("values output %q", got)
+	}
+
+	out, err = exec.Command(bin, "-count", "$..url", doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "2" {
+		t.Fatalf("count output %q", out)
+	}
+
+	out, err = exec.Command(bin, "-offsets", "$.a.url", doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "14" {
+		t.Fatalf("offsets output %q", out)
+	}
+
+	// stdin mode with an explicit engine.
+	cmd := exec.Command(bin, "-engine", "surfer", "-count", "$.b.*.url")
+	cmd.Stdin = strings.NewReader(`{"a": 0, "b": [{"url": 1}]}`)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "1" {
+		t.Fatalf("stdin output %q", out)
+	}
+
+	// Errors exit non-zero.
+	if err := exec.Command(bin, "not-a-query", doc).Run(); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if err := exec.Command(bin, "-engine", "nope", "$.a", doc).Run(); err == nil {
+		t.Fatal("bad engine accepted")
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("missing args accepted")
+	}
+}
+
+func TestCLIJsongen(t *testing.T) {
+	bin := buildTool(t, "jsongen")
+
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ast", "bestbuy", "walmart", "twitter_small"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-list output missing %s:\n%s", want, out)
+		}
+	}
+
+	dest := filepath.Join(t.TempDir(), "tiny.json")
+	if out, err := exec.Command(bin, "-dataset", "walmart", "-size", "20000", "-out", dest).CombinedOutput(); err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 20000 {
+		t.Fatalf("generated %d bytes", len(data))
+	}
+
+	out, err = exec.Command(bin, "-dataset", "nspl", "-size", "20000", "-stats").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "verbosity=") {
+		t.Fatalf("-stats output %q", out)
+	}
+
+	if err := exec.Command(bin, "-dataset", "bogus").Run(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCLIRsonbench(t *testing.T) {
+	bin := buildTool(t, "rsonbench")
+
+	out, err := exec.Command(bin, "-exp", "semantics").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `["A", "B", "C", "D"]`) {
+		t.Fatalf("semantics output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-exp", "table2").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "naive") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+
+	// A minimal timed experiment at a tiny scale.
+	out, err = exec.Command(bin, "-exp", "d", "-scale", "0.01", "-samples", "1").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "GB/s") {
+		t.Fatalf("experiment d output:\n%s", out)
+	}
+
+	if err := exec.Command(bin, "-exp", "bogus").Run(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCLIRsonpathLines(t *testing.T) {
+	bin := buildTool(t, "rsonpath")
+	input := `{"a": 1}` + "\n" + `{"b": 0}` + "\n" + `{"a": [2, 3]}` + "\n"
+
+	cmd := exec.Command(bin, "-lines", "-count", "$.a")
+	cmd.Stdin = strings.NewReader(input)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "2" {
+		t.Fatalf("lines count %q", out)
+	}
+
+	cmd = exec.Command(bin, "-lines", "$.a")
+	cmd.Stdin = strings.NewReader(input)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "1\n[2, 3]" {
+		t.Fatalf("lines values %q", out)
+	}
+
+	cmd = exec.Command(bin, "-lines", "-offsets", "$.a")
+	cmd.Stdin = strings.NewReader(input)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "1:6\n3:6" {
+		t.Fatalf("lines offsets %q", out)
+	}
+
+	// DOM engine via CLI.
+	cmd = exec.Command(bin, "-engine", "dom", "-count", "$..a")
+	cmd.Stdin = strings.NewReader(`{"a": {"a": 1}}`)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "2" {
+		t.Fatalf("dom count %q", out)
+	}
+}

@@ -1,0 +1,82 @@
+// Command jsongen generates the synthetic benchmark datasets described in
+// DESIGN.md (the substitutes for the paper's Table 3 corpora).
+//
+// Usage:
+//
+//	jsongen -list
+//	jsongen -dataset bestbuy -size 16777216 -out bestbuy.json
+//	jsongen -all -dir ./datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rsonpath/internal/jsongen"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available datasets and exit")
+		dataset = flag.String("dataset", "", "dataset to generate")
+		size    = flag.Int("size", 0, "target size in bytes (0 = profile default)")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		out     = flag.String("out", "", "output file (default: stdout)")
+		all     = flag.Bool("all", false, "generate every dataset at default size")
+		dir     = flag.String("dir", ".", "output directory for -all")
+		stats   = flag.Bool("stats", false, "print Table 3 statistics instead of writing data")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-14s %12s %6s %10s\n", "name", "default size", "depth", "verbosity")
+		for _, p := range jsongen.Profiles() {
+			fmt.Printf("%-14s %12d %6d %10.1f\n", p.Name, p.DefaultSize, p.PaperDepth, p.PaperVerbosity)
+		}
+	case *all:
+		for _, p := range jsongen.Profiles() {
+			data, err := jsongen.Generate(p.Name, *size, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*dir, p.Name+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, len(data))
+		}
+	case *dataset != "":
+		data, err := jsongen.Generate(*dataset, *size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			st, err := jsongen.Measure(data)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("dataset=%s size=%d depth=%d nodes=%d verbosity=%.1f\n",
+				*dataset, st.SizeBytes, st.Depth, st.Nodes, st.Verbosity)
+			return
+		}
+		if *out == "" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, len(data))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsongen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command rsonbench regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic datasets. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	rsonbench -exp all
+//	rsonbench -exp a            # Experiment A (Table 4 / Figure 4)
+//	rsonbench -exp b -scale 0.5 # Experiment B at half the default size
+//	rsonbench -exp table2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rsonpath/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, table2, table3, semantics, ablation, stackless, or all")
+		scale   = flag.Float64("scale", 1.0, "dataset size factor relative to DESIGN.md defaults")
+		samples = flag.Int("samples", 5, "timed samples per measurement")
+		seed    = flag.Int64("seed", 42, "dataset generation seed")
+	)
+	flag.Parse()
+
+	h := bench.NewHarness()
+	h.SizeFactor = *scale
+	h.Samples = *samples
+	h.Seed = *seed
+
+	for _, e := range strings.Split(*exp, ",") {
+		if err := run(h, e); err != nil {
+			fmt.Fprintln(os.Stderr, "rsonbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(h *bench.Harness, exp string) error {
+	w := os.Stdout
+	switch exp {
+	case "all":
+		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "grid"} {
+			if err := run(h, e); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "table2":
+		fmt.Fprintln(w, "== Table 2: naive vs lookup-table classification ==")
+		bench.RenderTable2(w, bench.RunTable2())
+		return nil
+
+	case "table3":
+		fmt.Fprintln(w, "== Table 3: dataset characteristics ==")
+		rows, err := h.RunTable3()
+		if err != nil {
+			return err
+		}
+		bench.RenderTable3(w, rows, h)
+		return nil
+
+	case "a":
+		results, err := h.RunGrid(bench.ExperimentSpecs("A"))
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure(w, "Experiment A (Table 4 / Figure 4): descendant-free queries", results)
+		return nil
+
+	case "b":
+		specs := bench.ExperimentSpecs("B")
+		// Include the originals next to their rewritings, as Figure 5 does.
+		var full []bench.Spec
+		for _, s := range specs {
+			if orig, ok := bench.SpecByID(s.RewritingOf); ok {
+				full = append(full, orig)
+			}
+			full = append(full, s)
+		}
+		results, err := h.RunGrid(full)
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure(w, "Experiment B (Table 5 / Figure 5): descendant rewritings", results)
+		return nil
+
+	case "c":
+		results, err := h.RunGrid(bench.ExperimentSpecs("C"))
+		if err != nil {
+			return err
+		}
+		bench.RenderFigure(w, "Experiment C (Table 6 / Figure 6): limitations and opportunities", results)
+		return nil
+
+	case "d":
+		fmt.Fprintln(w, "== Experiment D (Table 7): scalability, $..affiliation..name on Crossref ==")
+		points, err := h.RunScalability([]float64{0.25, 0.5, 1, 2})
+		if err != nil {
+			return err
+		}
+		bench.RenderScalability(w, points)
+		return nil
+
+	case "semantics":
+		fmt.Fprintln(w, "== Appendix D / Table 9: node vs path semantics ==")
+		return bench.RenderSemantics(w)
+
+	case "ablation":
+		fmt.Fprintln(w, "== Ablation: skipping techniques toggled off ==")
+		var specs []bench.Spec
+		for _, id := range []string{"B1r", "C2r", "Tsr", "A2", "W2"} {
+			if s, ok := bench.SpecByID(id); ok {
+				specs = append(specs, s)
+			}
+		}
+		results, err := h.RunAblation(specs)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(w, results)
+		return nil
+
+	case "stackless":
+		fmt.Fprintln(w, "== Simulation strategies (§3.2): depth-stack vs depth-registers ==")
+		results, err := h.RunStackless()
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(w, results)
+		return nil
+
+	case "grid":
+		fmt.Fprintln(w, "== Appendix C: full result grid ==")
+		results, err := h.RunGrid(bench.Specs)
+		if err != nil {
+			return err
+		}
+		bench.RenderGrid(w, results)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

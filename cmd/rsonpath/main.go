@@ -1,0 +1,164 @@
+// Command rsonpath runs a JSONPath query over a JSON document (a file or
+// standard input) and prints the matched values, offsets, or a count.
+//
+// Usage:
+//
+//	rsonpath [flags] <query> [file]
+//
+// Examples:
+//
+//	rsonpath '$..user.name' tweets.json
+//	rsonpath -count '$.products[*].id' products.json
+//	cat doc.json | rsonpath -offsets '$..url'
+//	rsonpath -lines '$.event' log.jsonl     # newline-delimited JSON
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rsonpath"
+)
+
+func main() {
+	var (
+		count   = flag.Bool("count", false, "print only the number of matches")
+		offsets = flag.Bool("offsets", false, "print byte offsets instead of values")
+		engine  = flag.String("engine", "rsonpath", "engine: rsonpath, surfer, ski, or dom")
+		lines   = flag.Bool("lines", false, "treat input as newline-delimited JSON records")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rsonpath [flags] <query> [file]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kind, err := engineKind(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := rsonpath.Compile(flag.Arg(0), rsonpath.WithEngine(kind))
+	if err != nil {
+		fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 2 {
+		f, err := os.Open(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *lines {
+		if err := runLines(q, in, out, *count, *offsets); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *count:
+		n, err := q.Count(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, n)
+	case *offsets:
+		offs, err := q.MatchOffsets(data)
+		if err != nil {
+			fatal(err)
+		}
+		for _, o := range offs {
+			fmt.Fprintln(out, o)
+		}
+	default:
+		var runErr error
+		err := q.Run(data, func(pos int) {
+			if runErr != nil {
+				return
+			}
+			v, err := rsonpath.ValueAt(data, pos)
+			if err != nil {
+				runErr = err
+				return
+			}
+			out.Write(v)
+			out.WriteByte('\n')
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if runErr != nil {
+			fatal(runErr)
+		}
+	}
+}
+
+// runLines streams newline-delimited records with bounded memory.
+func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+	total := 0
+	err := q.RunLines(in, func(m rsonpath.LineMatch) error {
+		switch {
+		case count:
+			total += len(m.Offsets)
+		case offsets:
+			for _, o := range m.Offsets {
+				fmt.Fprintf(out, "%d:%d\n", m.Line, o)
+			}
+		default:
+			for _, o := range m.Offsets {
+				v, err := rsonpath.ValueAt(m.Record, o)
+				if err != nil {
+					return err
+				}
+				out.Write(v)
+				out.WriteByte('\n')
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if count {
+		fmt.Fprintln(out, total)
+	}
+	return nil
+}
+
+func engineKind(name string) (rsonpath.EngineKind, error) {
+	switch name {
+	case "rsonpath":
+		return rsonpath.EngineRsonpath, nil
+	case "surfer":
+		return rsonpath.EngineSurfer, nil
+	case "ski":
+		return rsonpath.EngineSki, nil
+	case "dom":
+		return rsonpath.EngineDOM, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want rsonpath, surfer, ski, or dom)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsonpath:", err)
+	os.Exit(1)
+}

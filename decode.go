@@ -1,0 +1,117 @@
+package rsonpath
+
+import (
+	"fmt"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// DecodeString decodes a JSON string value as returned by MatchValues or
+// ValueAt — including the surrounding quotes — into its unescaped text.
+// All escape forms of RFC 8259 are handled, including \uXXXX surrogate
+// pairs. Inputs that are not JSON string values are rejected.
+func DecodeString(raw []byte) (string, error) {
+	if len(raw) < 2 || raw[0] != '"' || raw[len(raw)-1] != '"' {
+		return "", fmt.Errorf("rsonpath: not a JSON string: %q", raw)
+	}
+	body := raw[1 : len(raw)-1]
+	// Fast path: no escapes.
+	hasEscape := false
+	for _, b := range body {
+		if b == '\\' {
+			hasEscape = true
+			break
+		}
+	}
+	if !hasEscape {
+		return string(body), nil
+	}
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		if i+1 >= len(body) {
+			return "", fmt.Errorf("rsonpath: truncated escape in %q", raw)
+		}
+		switch e := body[i+1]; e {
+		case '"', '\\', '/':
+			out = append(out, e)
+			i += 2
+		case 'b':
+			out = append(out, '\b')
+			i += 2
+		case 'f':
+			out = append(out, '\f')
+			i += 2
+		case 'n':
+			out = append(out, '\n')
+			i += 2
+		case 'r':
+			out = append(out, '\r')
+			i += 2
+		case 't':
+			out = append(out, '\t')
+			i += 2
+		case 'u':
+			r, n, err := decodeUnicodeEscape(body[i:])
+			if err != nil {
+				return "", err
+			}
+			var buf [utf8.UTFMax]byte
+			out = append(out, buf[:utf8.EncodeRune(buf[:], r)]...)
+			i += n
+		default:
+			return "", fmt.Errorf("rsonpath: invalid escape \\%c in %q", e, raw)
+		}
+	}
+	return string(out), nil
+}
+
+// decodeUnicodeEscape decodes \uXXXX (and a following low surrogate when
+// needed) at the start of b, returning the rune and bytes consumed.
+func decodeUnicodeEscape(b []byte) (rune, int, error) {
+	r1, err := hex4(b, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !utf16.IsSurrogate(r1) {
+		return r1, 6, nil
+	}
+	// High surrogate: a \uXXXX low surrogate must follow.
+	if len(b) >= 12 && b[6] == '\\' && b[7] == 'u' {
+		r2, err := hex4(b, 8)
+		if err == nil {
+			if r := utf16.DecodeRune(r1, r2); r != utf8.RuneError {
+				return r, 12, nil
+			}
+		}
+	}
+	// Unpaired surrogate: substitute the replacement character, as
+	// encoding/json does.
+	return utf8.RuneError, 6, nil
+}
+
+func hex4(b []byte, at int) (rune, error) {
+	if len(b) < at+4 {
+		return 0, fmt.Errorf("rsonpath: truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := b[at+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, fmt.Errorf("rsonpath: invalid \\u escape")
+		}
+	}
+	return r, nil
+}

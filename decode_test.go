@@ -1,0 +1,97 @@
+package rsonpath
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDecodeStringBasics(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`""`, ""},
+		{`"plain"`, "plain"},
+		{`"a\"b"`, `a"b`},
+		{`"a\\b"`, `a\b`},
+		{`"a\/b"`, "a/b"},
+		{`"\b\f\n\r\t"`, "\b\f\n\r\t"},
+		{`"A"`, "A"},
+		{`"é"`, "é"},
+		{`"日本"`, "日本"},
+		{`"🎉"`, "🎉"}, // surrogate pair
+		{`"mixed A\n🎂"`, "mixed A\n🎂"},
+	}
+	for _, c := range cases {
+		got, err := DecodeString([]byte(c.in))
+		if err != nil {
+			t.Errorf("DecodeString(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("DecodeString(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeStringAgainstEncodingJSON(t *testing.T) {
+	// Differential against the stdlib decoder on random encodable strings.
+	r := rand.New(rand.NewSource(71))
+	runes := []rune{'a', 'Z', '"', '\\', '\n', '\t', 'é', '日', '🎉', 0x01, '/'}
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		for i, n := 0, r.Intn(20); i < n; i++ {
+			sb.WriteRune(runes[r.Intn(len(runes))])
+		}
+		want := sb.String()
+		enc, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeString(enc)
+		if err != nil {
+			t.Fatalf("DecodeString(%q): %v", enc, err)
+		}
+		if got != want {
+			t.Fatalf("DecodeString(%q) = %q, want %q", enc, got, want)
+		}
+	}
+}
+
+func TestDecodeStringUnpairedSurrogate(t *testing.T) {
+	// encoding/json substitutes U+FFFD for unpaired surrogates; so do we.
+	got, err := DecodeString([]byte(`"\ud800x"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	if err := json.Unmarshal([]byte(`"\ud800x"`), &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("unpaired surrogate: got %q, want %q", got, want)
+	}
+}
+
+func TestDecodeStringErrors(t *testing.T) {
+	for _, in := range []string{``, `"`, `x`, `"a`, `a"`, `42`, `"\x"`, `"\u12"`, `"\u12G4"`, `"trailing\"`} {
+		if got, err := DecodeString([]byte(in)); err == nil {
+			t.Errorf("DecodeString(%q) = %q, want error", in, got)
+		}
+	}
+}
+
+func TestDecodeStringEndToEnd(t *testing.T) {
+	doc := []byte(`{"msg": "café \"quoted\"\nnew line"}`)
+	q := MustCompile("$.msg")
+	vals, err := q.MatchValues(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeString(vals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "café \"quoted\"\nnew line" {
+		t.Fatalf("decoded %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package rsonpath
+
+import (
+	"rsonpath/internal/dom"
+	"rsonpath/internal/jsonpath"
+)
+
+// Semantics selects the JSONPath result semantics for EngineDOM (§2 of the
+// paper and its Appendix D).
+type Semantics int
+
+const (
+	// NodeSemantics returns the set of matched nodes in document order —
+	// the paper's choice, implemented by every engine here.
+	NodeSemantics Semantics = iota
+	// PathSemantics returns one result per access path (a multiset), the
+	// behaviour of most legacy JSONPath implementations. Only EngineDOM
+	// supports it; the streaming engines reject it.
+	PathSemantics
+)
+
+// WithSemantics selects the result semantics. The default, NodeSemantics,
+// works on every engine; PathSemantics requires WithEngine(EngineDOM).
+func WithSemantics(s Semantics) Option {
+	return func(c *config) { c.semantics = s }
+}
+
+// domRunner adapts the reference DOM evaluator to the runner interface. It
+// parses the document into a tree first — the memory-hungry approach the
+// streaming engines exist to avoid — and is offered for small documents,
+// for path semantics, and as a user-accessible oracle.
+type domRunner struct {
+	query     *jsonpath.Query
+	semantics dom.Semantics
+}
+
+func (d *domRunner) Run(data []byte, emit func(pos int)) error {
+	root, err := dom.Parse(data)
+	if err != nil {
+		return err
+	}
+	for _, n := range dom.Eval(root, d.query, d.semantics) {
+		emit(n.Start)
+	}
+	return nil
+}

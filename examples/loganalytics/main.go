@@ -1,0 +1,79 @@
+// Log analytics over newline-delimited JSON: the bounded-memory streaming
+// regime the paper's introduction motivates ("when faced with terabytes of
+// data to query, the only feasible solution is a streaming algorithm with
+// minimal memory footprint"), applied record-wise to a synthetic service
+// log.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rsonpath"
+)
+
+func main() {
+	// Synthesize a JSONL log: one record per line, occasionally nested.
+	var buf bytes.Buffer
+	r := rand.New(rand.NewSource(1))
+	services := []string{"api", "auth", "billing", "search"}
+	for i := 0; i < 5000; i++ {
+		level := "info"
+		if r.Intn(20) == 0 {
+			level = "error"
+		}
+		fmt.Fprintf(&buf, `{"ts": %d, "level": %q, "service": %q`,
+			1700000000+i, level, services[r.Intn(len(services))])
+		if level == "error" {
+			fmt.Fprintf(&buf, `, "error": {"code": %d, "context": {"trace": {"id": %q}}}`,
+				500+r.Intn(5), fmt.Sprintf("t-%06x", r.Int31()))
+		}
+		buf.WriteString("}\n")
+	}
+	fmt.Printf("log: %d bytes, 5000 records\n\n", buf.Len())
+
+	// Count errors with one descendant query per record stream.
+	errs, err := rsonpath.MustCompile("$..error.code").CountLines(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("error records:   %d\n", errs)
+
+	// Harvest trace ids without knowing where they nest.
+	traces := rsonpath.MustCompile("$..trace.id")
+	shown := 0
+	err = traces.RunLines(bytes.NewReader(buf.Bytes()), func(m rsonpath.LineMatch) error {
+		for _, o := range m.Offsets {
+			if shown < 5 {
+				v, err := rsonpath.ValueAt(m.Record, o)
+				if err != nil {
+					return err
+				}
+				id, err := rsonpath.DecodeString(v)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("line %5d trace %s\n", m.Line, id)
+				shown++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Composition: error objects, then their codes.
+	pipe := rsonpath.NewPipeline(
+		rsonpath.MustCompile("$..error"),
+		rsonpath.MustCompile("$.code"),
+	)
+	record := []byte(`{"batch": [{"error": {"code": 503}}, {"ok": true}, {"error": {"code": 500}}]}`)
+	vals, err := pipe.MatchValues(record)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline $..error | $.code on a batch record: %s\n", bytes.Join(vals, []byte(", ")))
+}

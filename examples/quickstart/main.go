@@ -1,0 +1,44 @@
+// Quickstart: compile a descendant query and extract every match from a
+// document, without building a DOM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsonpath"
+)
+
+const doc = `{
+  "firstName": "John",
+  "address": {"city": "Nara", "links": [{"url": "https://example.org/a"}]},
+  "phoneNumbers": [
+    {"type": "iPhone", "meta": {"url": "https://example.org/b"}},
+    {"type": "home",   "url": "https://example.org/c"}
+  ]
+}`
+
+func main() {
+	// "$..url": every value of a property named url, anywhere in the
+	// document — the motivating example of the paper's introduction.
+	q, err := rsonpath.Compile("$..url")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	values, err := q.MatchValues([]byte(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s found %d matches:\n", q, len(values))
+	for _, v := range values {
+		fmt.Printf("  %s\n", v)
+	}
+
+	// Counting without extracting is cheaper still.
+	n, err := q.Count([]byte(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count: %d\n", n)
+}

@@ -1,0 +1,51 @@
+// Web-API responses: pull fields out of a Twitter-style search result —
+// the "small but irregular" workload of §5.3 — and show how loosening the
+// path with descendants simplifies queries without changing the results
+// (the Ts / Tsp / Tsr family of Experiment C).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsonpath"
+	"rsonpath/internal/jsongen"
+)
+
+func main() {
+	data, err := jsongen.Generate("twitter_small", 256<<10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d bytes\n\n", len(data))
+
+	// Three spellings of the same question (they return the same value):
+	// fully specified, partially loosened, and fully loosened.
+	for _, src := range []string{
+		"$.search_metadata.count",  // Ts
+		"$..search_metadata.count", // Tsp
+		"$..count",                 // Tsr
+	} {
+		q := rsonpath.MustCompile(src)
+		vals, err := q.MatchValues(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s -> %s\n", src, vals[0])
+	}
+
+	// Harvest every hashtag, including those inside retweets, with one
+	// descendant query.
+	hashtags := rsonpath.MustCompile("$..hashtags..text")
+	vals, err := hashtags.MatchValues(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d hashtags; first few:\n", len(vals))
+	for i, v := range vals {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+}

@@ -1,0 +1,3 @@
+module rsonpath
+
+go 1.22

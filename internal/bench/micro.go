@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"rsonpath/internal/classifier"
+	"rsonpath/internal/simd"
+)
+
+// Table2Row reports the cost of classifying one 64-byte block with the
+// naive method (one comparison per accepted value) for a given number of
+// accepted values, next to the lookup-table method — the reproduction of
+// the paper's Table 2 trade-off (there in cycles, here in ns/block).
+type Table2Row struct {
+	Values         int
+	NaiveNsPerBlk  float64
+	LookupNsPerBlk float64
+	LookupStrategy string
+}
+
+// RunTable2 measures naive-vs-lookup classification cost for the paper's
+// value counts.
+func RunTable2() []Table2Row {
+	counts := []int{1, 2, 3, 4, 5, 6, 7, 8, 16}
+	blocks := randomBlocks(1 << 12)
+	var out []Table2Row
+	for _, k := range counts {
+		accepted := make(map[byte]bool, k)
+		for i := 0; i < k; i++ {
+			// Spread values over distinct upper/lower nibbles to exercise
+			// realistic group structure.
+			accepted[byte(0x20+i*0x11)] = true
+		}
+		f := func(b byte) bool { return accepted[b] }
+		naive := classifier.BuildNaive(f)
+		lookup := classifier.BuildRaw(f)
+		out = append(out, Table2Row{
+			Values:         k,
+			NaiveNsPerBlk:  timeClassifier(naive, blocks),
+			LookupNsPerBlk: timeClassifier(lookup, blocks),
+			LookupStrategy: lookup.Strategy().String(),
+		})
+	}
+	return out
+}
+
+func randomBlocks(n int) []simd.Block {
+	r := rand.New(rand.NewSource(9))
+	blocks := make([]simd.Block, n)
+	for i := range blocks {
+		for j := range blocks[i] {
+			blocks[i][j] = byte(r.Intn(256))
+		}
+	}
+	return blocks
+}
+
+// Sink defeats dead-code elimination in the micro benchmarks.
+var Sink uint64
+
+func timeClassifier(c *classifier.RawClassifier, blocks []simd.Block) float64 {
+	// One warm-up pass, then three timed passes; report the best to reduce
+	// scheduler noise, as micro benchmarks conventionally do.
+	pass := func() time.Duration {
+		start := time.Now()
+		for i := range blocks {
+			Sink ^= c.Classify(&blocks[i])
+		}
+		return time.Since(start)
+	}
+	pass()
+	best := pass()
+	for i := 0; i < 2; i++ {
+		if d := pass(); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(len(blocks))
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rsonpath/internal/dom"
+	"rsonpath/internal/jsonpath"
+)
+
+// RenderGrid prints results as an Appendix-C-style table: one row per query
+// ID, one throughput column per engine.
+func RenderGrid(w io.Writer, results []Result) {
+	engines := orderedEngines(results)
+	byID := map[string]map[string]Result{}
+	var order []string
+	for _, r := range results {
+		if byID[r.ID] == nil {
+			byID[r.ID] = map[string]Result{}
+			order = append(order, r.ID)
+		}
+		byID[r.ID][r.Engine] = r
+	}
+	fmt.Fprintf(w, "%-5s %-14s %-48s %10s", "id", "dataset", "query", "matches")
+	for _, e := range engines {
+		fmt.Fprintf(w, " %12s", e+" GB/s")
+	}
+	fmt.Fprintln(w)
+	for _, id := range order {
+		row := byID[id]
+		var any Result
+		for _, r := range row {
+			if !r.Unsupported {
+				any = r
+				break
+			}
+		}
+		fmt.Fprintf(w, "%-5s %-14s %-48s %10d", id, any.Dataset, any.Query, any.Matches)
+		for _, e := range engines {
+			r, ok := row[e]
+			if !ok || r.Unsupported {
+				fmt.Fprintf(w, " %12s", "-")
+			} else {
+				fmt.Fprintf(w, " %12.3f", r.GBps)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure prints an ASCII bar chart of throughputs, the textual twin
+// of the paper's Figures 4-6.
+func RenderFigure(w io.Writer, title string, results []Result) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	max := 0.0
+	for _, r := range results {
+		if r.GBps > max {
+			max = r.GBps
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	const width = 50
+	for _, r := range results {
+		label := fmt.Sprintf("%-5s %-9s", r.ID, r.Engine)
+		if r.Unsupported {
+			fmt.Fprintf(w, "%s | (unsupported)\n", label)
+			continue
+		}
+		bar := int(r.GBps / max * width)
+		fmt.Fprintf(w, "%s |%-*s %7.3f GB/s  (%d matches)\n",
+			label, width, strings.Repeat("#", bar), r.GBps, r.Matches)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable3 prints the dataset characteristics table.
+func RenderTable3(w io.Writer, rows []Table3Row, harness *Harness) {
+	fmt.Fprintf(w, "%-14s %12s %7s %10s %11s\n", "name", "size [B]", "depth", "nodes", "verbosity")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12d %7d %10d %11.1f\n",
+			r.Name, r.Stats.SizeBytes, r.Stats.Depth, r.Stats.Nodes, r.Stats.Verbosity)
+	}
+	fmt.Fprintf(w, "(scale factor %.3g of DESIGN.md defaults)\n\n", harness.SizeFactor)
+}
+
+// RenderTable2 prints the classification micro-comparison.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-8s %16s %16s %18s\n", "values", "naive ns/block", "lookup ns/block", "lookup strategy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %16.2f %16.2f %18s\n",
+			r.Values, r.NaiveNsPerBlk, r.LookupNsPerBlk, r.LookupStrategy)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderScalability prints Experiment D's table.
+func RenderScalability(w io.Writer, points []ScalabilityPoint) {
+	fmt.Fprintf(w, "%-14s %10s %10s\n", "size [B]", "GB/s", "matches")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-14d %10.3f %10d\n", p.SizeBytes, p.GBps, p.Matches)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAblation prints ablation results grouped per query.
+func RenderAblation(w io.Writer, results []Result) {
+	fmt.Fprintf(w, "%-5s %-18s %10s %12s\n", "id", "variant", "GB/s", "matches")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-5s %-18s %10.3f %12d\n", r.ID, r.Engine, r.GBps, r.Matches)
+	}
+	fmt.Fprintln(w)
+}
+
+// SemanticsDoc is the Appendix D example document (values shortened as in
+// the paper).
+const SemanticsDoc = `{
+  "person": {
+    "name": "A",
+    "spouse": {"name": "B"},
+    "person": {
+      "children": [{"name": "C"}, {"name": "D"}]
+    }
+  }
+}`
+
+// RenderSemantics reproduces the Appendix D / Table 9 comparison: the query
+// $..person..name under node semantics and path semantics.
+func RenderSemantics(w io.Writer) error {
+	root, err := dom.Parse([]byte(SemanticsDoc))
+	if err != nil {
+		return err
+	}
+	q := jsonpath.MustParse("$..person..name")
+	render := func(sem dom.Semantics) []string {
+		var vals []string
+		for _, n := range dom.Eval(root, q, sem) {
+			vals = append(vals, SemanticsDoc[n.Start:n.End])
+		}
+		return vals
+	}
+	fmt.Fprintf(w, "query: $..person..name (Appendix D)\n")
+	fmt.Fprintf(w, "node semantics (this engine): [%s]\n", strings.Join(render(dom.NodeSemantics), ", "))
+	fmt.Fprintf(w, "path semantics (most legacy implementations): [%s]\n\n", strings.Join(render(dom.PathSemantics), ", "))
+	return nil
+}
+
+func orderedEngines(results []Result) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Engine] {
+			seen[r.Engine] = true
+			out = append(out, r.Engine)
+		}
+	}
+	return out
+}

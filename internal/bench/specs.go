@@ -1,0 +1,101 @@
+// Package bench is the measurement harness behind cmd/rsonbench and the
+// repository's testing.B benchmarks. It reproduces the paper's methodology
+// (§5.1): per-query warm-up followed by several timed samples over an
+// in-memory document, reported as mean throughput.
+package bench
+
+// Spec is one benchmark query, keyed like the paper's Appendix C.
+type Spec struct {
+	// ID is the paper's query identifier (B1, C2r, Ts, ...).
+	ID string
+	// Experiment tags the figure/table the query belongs to:
+	// "A" (Table 4 / Figure 4), "B" (Table 5 / Figure 5),
+	// "C" (Table 6 / Figure 6), "O" (Appendix C extras).
+	Experiment string
+	// Dataset is the jsongen profile name.
+	Dataset string
+	// Query is the JSONPath expression.
+	Query string
+	// RewritingOf names the original query this one rewrites with
+	// descendants ("" for originals).
+	RewritingOf string
+	// PaperCount is the match count the paper reports (on the full-size
+	// original dataset; ours differ by scale and synthesis).
+	PaperCount int
+}
+
+// Specs lists every query of the evaluation, in Appendix C order.
+var Specs = []Spec{
+	{"A1", "C", "ast", "$..decl.name", "", 35},
+	{"A2", "C", "ast", "$..inner..inner..type.qualType", "", 78129},
+	{"A3", "O", "ast", "$..loc.includedFrom.file", "", 482},
+
+	{"B1", "A", "bestbuy", "$.products.*.categoryPath.*.id", "", 697440},
+	{"B1r", "B", "bestbuy", "$..categoryPath..id", "B1", 697440},
+	{"B2", "A", "bestbuy", "$.products.*.videoChapters.*.chapter", "", 8857},
+	{"B2r", "B", "bestbuy", "$..videoChapters..chapter", "B2", 8857},
+	{"B3", "A", "bestbuy", "$.products.*.videoChapters", "", 769},
+	{"B3r", "B", "bestbuy", "$..videoChapters", "B3", 769},
+
+	{"C1", "C", "crossref", "$..DOI", "", 1073589},
+	{"C2", "C", "crossref", "$.items.*.author.*.affiliation.*.name", "", 64495},
+	{"C2r", "C", "crossref", "$..author..affiliation..name", "C2", 64495},
+	{"C3", "C", "crossref", "$.items.*.editor.*.affiliation.*.name", "", 39},
+	{"C3r", "C", "crossref", "$..editor..affiliation..name", "C3", 39},
+	{"C4", "O", "crossref", "$.items.*.title", "", 93407},
+	{"C4r", "O", "crossref", "$..title", "C4", 93407},
+	{"C5", "O", "crossref", "$.items.*.author.*.ORCID", "", 18401},
+	{"C5r", "O", "crossref", "$..author..ORCID", "C5", 18401},
+
+	{"G1", "A", "googlemap", "$.*.routes.*.legs.*.steps.*.distance.text", "", 1716752},
+	{"G2", "A", "googlemap", "$.*.available_travel_modes", "", 90},
+	{"G2r", "B", "googlemap", "$..available_travel_modes", "G2", 90},
+
+	{"N1", "A", "nspl", "$.meta.view.columns.*.name", "", 44},
+	{"N2", "A", "nspl", "$.data.*.*.*", "", 8774410},
+
+	{"O1", "O", "openfood", "$.products.*.vitamins_tags", "", 24},
+	{"O1r", "O", "openfood", "$..vitamins_tags", "O1", 24},
+	{"O2", "O", "openfood", "$.products.*.added_countries_tags", "", 24},
+	{"O2r", "O", "openfood", "$..added_countries_tags", "O2", 24},
+	{"O3", "O", "openfood", "$.products.*.specific_ingredients.*.ingredient", "", 5},
+	{"O3r", "O", "openfood", "$..specific_ingredients..ingredient", "O3", 5},
+
+	{"T1", "A", "twitter", "$.*.entities.urls.*.url", "", 88881},
+	{"T2", "A", "twitter", "$.*.text", "", 150135},
+
+	{"Ts", "C", "twitter_small", "$.search_metadata.count", "", 1},
+	{"Tsr", "C", "twitter_small", "$..count", "Ts", 1},
+	{"Tsp", "C", "twitter_small", "$..search_metadata.count", "Ts", 1},
+	{"Ts4", "O", "twitter_small", "$..hashtags..text", "", 1},
+	{"Ts5", "O", "twitter_small", "$..retweeted_status..hashtags..text", "", 1},
+
+	{"W1", "A", "walmart", "$.items.*.bestMarketplacePrice.price", "", 15892},
+	{"W1r", "B", "walmart", "$..bestMarketplacePrice.price", "W1", 15892},
+	{"W2", "A", "walmart", "$.items.*.name", "", 272499},
+	{"W2r", "B", "walmart", "$..name", "W2", 272499},
+
+	{"Wi", "A", "wikimedia", "$.*.claims.P150.*.mainsnak.property", "", 15603},
+	{"Wir", "B", "wikimedia", "$..P150..mainsnak.property", "Wi", 15603},
+}
+
+// SpecByID finds a query spec.
+func SpecByID(id string) (Spec, bool) {
+	for _, s := range Specs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ExperimentSpecs returns the specs tagged with the given experiment.
+func ExperimentSpecs(exp string) []Spec {
+	var out []Spec
+	for _, s := range Specs {
+		if s.Experiment == exp {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package classifier
+
+import "rsonpath/internal/simd"
+
+// SkipToClose is the depth classifier (§4.4). Starting at absolute offset
+// from with relative depth 1 (one unmatched open character of the given
+// kind), it fast-forwards the stream to the closing character that brings
+// the relative depth to 0 and returns its absolute position.
+//
+// Only two characters are tracked — the matching open/close pair — marked
+// with two CmpEq8 passes per block rather than the full structural lookup.
+// The paper's block-skip heuristic is applied: when a block holds fewer
+// closing characters than the current relative depth, the depth cannot
+// reach zero inside it, so the whole block is accounted for with two
+// popcounts and skipped.
+//
+// ok is false when the input ends before the subtree closes (malformed
+// document). The stream is left on the block containing the returned
+// position; the caller resumes structural classification with
+// Structural.Reset.
+func SkipToClose(s *Stream, from int, open byte) (closePos int, ok bool) {
+	cl := matchingClose(open)
+	depth := 1
+	first := true
+	for {
+		om, cm := simd.CmpEq8Pair(s.Block(), open, cl)
+		notString := ^s.InString()
+		om &= notString
+		cm &= notString
+		if first {
+			// from may precede the current block when the caller's
+			// iterator peeked ahead; everything at stake (in particular
+			// the sought closer, which is always a recognised structural
+			// character) lies at or after the current block.
+			if rel := from - s.BlockStart(); rel > 0 {
+				low := simd.BitsBelow(rel)
+				om &^= low
+				cm &^= low
+			}
+			first = false
+		}
+		// Heuristic: depth cannot drop to zero if there are fewer closers
+		// in the block than the current depth.
+		if simd.Popcount(cm) < depth {
+			depth += simd.Popcount(om) - simd.Popcount(cm)
+			if !s.Advance() {
+				return 0, false
+			}
+			continue
+		}
+		// Walk the closers in order, adding the openers that precede each.
+		accounted := uint64(0)
+		for cm != 0 {
+			bit := simd.TrailingZeros(cm)
+			below := simd.BitsBelow(bit)
+			depth += simd.Popcount(om & below &^ accounted)
+			accounted = below | 1<<uint(bit)
+			depth--
+			if depth == 0 {
+				return s.BlockStart() + bit, true
+			}
+			cm = simd.ClearLowest(cm)
+		}
+		depth += simd.Popcount(om &^ accounted)
+		if !s.Advance() {
+			return 0, false
+		}
+	}
+}
+
+// ScanToClose is a standalone form of SkipToClose for engines that keep a
+// plain byte cursor instead of a Stream (the JSONSki-analogue baseline): it
+// finds the closer matching an open character of the given kind, starting
+// at absolute offset from with relative depth 1. from must lie outside any
+// string (true for every position where a value can start), so a fresh
+// quote state is valid.
+func ScanToClose(data []byte, from int, open byte) (closePos int, ok bool) {
+	s := NewStream(data[from:])
+	p, ok := SkipToClose(s, 0, open)
+	return from + p, ok
+}
+
+// matchingClose maps an opening structural character to its closer.
+func matchingClose(open byte) byte {
+	if open == '{' {
+		return '}'
+	}
+	return ']'
+}

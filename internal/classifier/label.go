@@ -1,0 +1,192 @@
+package classifier
+
+import (
+	"bytes"
+
+	"rsonpath/internal/simd"
+)
+
+// SeekLabel implements skipping to a label (§3.3, §3.4): it finds the next
+// occurrence of the object key label at or after absolute offset from and
+// returns the offset of the key's opening quote together with the offset of
+// the first byte of its value. On success the stream is repositioned (with
+// a correctly reconstructed quote state) on the block containing valueAt,
+// ready for the engine to resume.
+//
+// from must lie outside any string and not be escaped — true for every
+// value boundary, which is where the engine's head-skip loop resumes from.
+//
+// Like the paper's memmem-based skipping, the search is delegated to an
+// optimized substring scan (bytes.Index, the stdlib's accelerated memmem).
+// Unlike the paper's original, candidates are screened against the quote
+// structure, which the seeker tracks incrementally: the parity of unescaped
+// quotes between candidates decides whether a candidate's first quote opens
+// a string (a potential key) or closes one (an in-string false positive).
+// Parity over a backslash-free gap is one vectorised bytes.Count; gaps with
+// backslashes fall back to a scalar scan.
+//
+// ok is false when no further occurrence exists.
+func SeekLabel(s *Stream, from int, label []byte) (keyAt, valueAt int, ok bool) {
+	pattern := make([]byte, 0, len(label)+2)
+	pattern = append(pattern, '"')
+	pattern = append(pattern, label...)
+	pattern = append(pattern, '"')
+	return SeekLabelPattern(s, from, label, pattern)
+}
+
+// SeekLabelPattern is SeekLabel with the quoted pattern precomputed by the
+// caller (the engine reuses it across the whole head-skip loop).
+func SeekLabelPattern(s *Stream, from int, label, pattern []byte) (keyAt, valueAt int, ok bool) {
+	data := s.Data()
+	pos := from
+	inString := false
+	for pos <= len(data) {
+		i := bytes.Index(data[pos:], pattern)
+		if i < 0 {
+			return 0, 0, false
+		}
+		cand := pos + i
+		candEscaped := false
+		if gap := data[pos:cand]; bytes.IndexByte(gap, '\\') < 0 {
+			if bytes.Count(gap, pattern[:1])&1 == 1 {
+				inString = !inString
+			}
+		} else {
+			inString, candEscaped = advanceQuoteState(gap, inString)
+		}
+		switch {
+		case candEscaped:
+			// The candidate's quote is escaped: it is string content.
+			// The escape consumed the quote; the string continues.
+			pos = cand + 1
+		case inString:
+			// The candidate's first quote closes a string.
+			inString = false
+			pos = cand + 1
+		default:
+			// The candidate's first quote opens a string whose content
+			// begins with the label: verify closing quote and colon.
+			if vs, match := verifyKey(data, cand, label); match {
+				s.JumpTo(vs)
+				return cand, vs, true
+			}
+			// Not a key (value string, longer key, or escaped closing
+			// quote). Step inside the string and resume; the parity logic
+			// disposes of the rest of it.
+			pos = cand + 1
+			inString = true
+		}
+	}
+	return 0, 0, false
+}
+
+// advanceQuoteState runs the scalar quote automaton over gap, starting in
+// the given state, and reports the state after the gap plus whether the
+// byte immediately following the gap is escaped.
+func advanceQuoteState(gap []byte, inString bool) (after, nextEscaped bool) {
+	escaped := false
+	for _, b := range gap {
+		switch {
+		case escaped:
+			escaped = false
+		case b == '\\':
+			escaped = true
+		case b == '"':
+			inString = !inString
+		}
+	}
+	return inString, escaped
+}
+
+// verifyKey checks that the opening quote at q starts the string label,
+// immediately followed by an unescaped closing quote and then (after
+// whitespace) a colon. It returns the offset of the value's first byte.
+func verifyKey(data []byte, q int, label []byte) (valueAt int, ok bool) {
+	end := q + 1 + len(label)
+	if end >= len(data) || data[end] != '"' {
+		return 0, false
+	}
+	for i, c := range label {
+		if data[q+1+i] != c {
+			return 0, false
+		}
+	}
+	// The closing quote must not be escaped: count the backslashes directly
+	// before it. (Possible only when the label itself ends in backslashes.)
+	bs := 0
+	for i := end - 1; i > q && data[i] == '\\'; i-- {
+		bs++
+	}
+	if bs%2 == 1 {
+		return 0, false
+	}
+	i := skipWhitespace(data, end+1)
+	if i >= len(data) || data[i] != ':' {
+		return 0, false
+	}
+	i = skipWhitespace(data, i+1)
+	if i >= len(data) {
+		return 0, false
+	}
+	return i, true
+}
+
+// skipWhitespace returns the first index at or after i holding a
+// non-whitespace byte (or len(data)).
+func skipWhitespace(data []byte, i int) int {
+	for i < len(data) && isWhitespace(data[i]) {
+		i++
+	}
+	return i
+}
+
+func isWhitespace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// JumpTo repositions the stream onto the block containing pos, skipping the
+// classification of every block in between. pos must be outside any string
+// and not escaped; the quote state at the block's start is reconstructed
+// from that anchor by scanning the at most BlockSize-1 bytes before pos.
+func (s *Stream) JumpTo(pos int) {
+	blockStart := pos - pos%simd.BlockSize
+	if blockStart == s.blockStart {
+		return
+	}
+	// The first byte of the block is escaped iff an odd backslash run ends
+	// just before it.
+	var qs quoteState
+	if oddBackslashRunEndingAt(s.data, blockStart) {
+		qs.prevEscaped = 1
+	}
+	// The state at pos is "outside"; each unescaped quote between the block
+	// start and pos flips it, so the block-start state is the flip parity.
+	parity := false
+	escaped := qs.prevEscaped == 1
+	for i := blockStart; i < pos; i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s.data[i] == '\\':
+			escaped = true
+		case s.data[i] == '"':
+			parity = !parity
+		}
+	}
+	if parity {
+		qs.prevInString = ^uint64(0)
+	}
+	s.blockStart = blockStart
+	s.quotes = qs
+	s.loadBlock()
+}
+
+// oddBackslashRunEndingAt reports whether the backslash run ending directly
+// before pos has odd length.
+func oddBackslashRunEndingAt(data []byte, pos int) bool {
+	n := 0
+	for i := pos - 1; i >= 0 && data[i] == '\\'; i-- {
+		n++
+	}
+	return n%2 == 1
+}

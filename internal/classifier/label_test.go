@@ -1,0 +1,126 @@
+package classifier
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refSeekLabel is the scalar oracle for SeekLabel.
+func refSeekLabel(data []byte, from int, label []byte) (keyAt, valueAt int, ok bool) {
+	quotes, inString := refQuoteScan(data)
+	for q := from; q < len(data); q++ {
+		if !quotes[q] || !inString[q] { // must be an opening quote
+			continue
+		}
+		if v, match := verifyKey(data, q, label); match {
+			return q, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+func assertSeek(t *testing.T, data string, from int, label string) {
+	t.Helper()
+	// SeekLabel requires from to be outside strings and unescaped.
+	_, inString := refQuoteScan([]byte(data))
+	for from < len(data) && (inString[from] || (from > 0 && data[from-1] == '\\')) {
+		from++
+	}
+	s := NewStream([]byte(data))
+	gotK, gotV, gotOK := SeekLabel(s, from, []byte(label))
+	wantK, wantV, wantOK := refSeekLabel([]byte(data), from, []byte(label))
+	if gotOK != wantOK || (gotOK && (gotK != wantK || gotV != wantV)) {
+		t.Fatalf("SeekLabel(%q, %d, %q) = (%d,%d,%v), want (%d,%d,%v)",
+			data, from, label, gotK, gotV, gotOK, wantK, wantV, wantOK)
+	}
+	if gotOK && (s.BlockStart() > gotV || gotV >= s.BlockStart()+64) {
+		t.Fatalf("stream block %d does not contain value %d", s.BlockStart(), gotV)
+	}
+}
+
+func TestSeekLabelBasic(t *testing.T) {
+	assertSeek(t, `{"a": 1, "b": 2}`, 0, "b")
+	assertSeek(t, `{"a": 1, "b": 2}`, 0, "a")
+	assertSeek(t, `{"a": 1, "b": 2}`, 2, "a") // past the first occurrence
+	assertSeek(t, `{"a": 1}`, 0, "missing")
+}
+
+func TestSeekLabelRejectsStringValues(t *testing.T) {
+	// "b" occurs as a string value and inside a string before the real key.
+	assertSeek(t, `{"x": "b", "note": "say \"b\": here", "b": 42}`, 0, "b")
+	// Only in-string occurrences: must not match.
+	assertSeek(t, `{"x": "b", "y": ["b", "b"]}`, 0, "b")
+}
+
+func TestSeekLabelRejectsPrefixKeys(t *testing.T) {
+	assertSeek(t, `{"bb": 1, "b": 2}`, 0, "b")
+	assertSeek(t, `{"b2": 1}`, 0, "b")
+}
+
+func TestSeekLabelWhitespaceBeforeColon(t *testing.T) {
+	assertSeek(t, "{\"key\"  \n\t : 7}", 0, "key")
+}
+
+func TestSeekLabelAcrossBlocks(t *testing.T) {
+	pad := strings.Repeat(" ", 60)
+	assertSeek(t, `{`+pad+`"boundary": 1}`, 0, "boundary")
+	// Key straddling the 64-byte edge.
+	assertSeek(t, `{"filler": "`+strings.Repeat("x", 45)+`", "edgekey": 3}`, 0, "edgekey")
+	// Colon and value in a later block.
+	assertSeek(t, `{"k"`+strings.Repeat(" ", 100)+`:`+strings.Repeat(" ", 100)+`5}`, 0, "k")
+}
+
+func TestSeekLabelEscapedQuoteInKey(t *testing.T) {
+	// Document key is x\" (escaped quote); searching for `x\` must not
+	// match, since the "closing" quote is escaped.
+	assertSeek(t, `{"x\"": 1}`, 0, `x\`)
+	// Searching for the verbatim escaped spelling matches.
+	assertSeek(t, `{"x\"y": 1}`, 0, `x\"y`)
+}
+
+func TestSeekLabelAtEndOfInput(t *testing.T) {
+	assertSeek(t, `{"k"`, 0, "k")  // no colon, no value
+	assertSeek(t, `{"k":`, 0, "k") // colon but no value
+	assertSeek(t, `"k"`, 0, "k")   // bare string, no colon
+}
+
+func TestSeekLabelRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	alphabet := []byte(`{}[]"\,: ab1`)
+	labels := []string{"a", "ab", "b1", `a\`}
+	for trial := 0; trial < 600; trial++ {
+		n := 1 + r.Intn(220)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		assertSeek(t, string(data), r.Intn(n), labels[r.Intn(len(labels))])
+	}
+}
+
+func TestSeekLabelRepeatedFinds(t *testing.T) {
+	// Walk all occurrences the way the engine's head-skip loop does.
+	doc := `{"a":1,"x":{"a":2},"a":3}`
+	data := []byte(doc)
+	s := NewStream(data)
+	var keys []int
+	from := 0
+	for {
+		k, v, ok := SeekLabel(s, from, []byte("a"))
+		if !ok {
+			break
+		}
+		keys = append(keys, k)
+		from = v + 1
+	}
+	want := []int{1, 12, 19}
+	if len(keys) != len(want) {
+		t.Fatalf("found keys at %v, want %v", keys, want)
+	}
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("found keys at %v, want %v", keys, want)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package classifier
+
+import (
+	"fmt"
+	"sort"
+
+	"rsonpath/internal/simd"
+)
+
+// This file implements the paper's general method for raw classification
+// (§4.1, Problem 1 with k = 2): given an arbitrary binary classification
+// function over bytes, build lookup tables that classify a 64-byte block in
+// a handful of word-parallel operations. Three strategies of increasing
+// generality are constructed, mirroring the paper's case analysis:
+//
+//	non-overlapping groups  ->  two lookups + compare      (NibbleEq)
+//	at most 8 groups        ->  two lookups + OR + compare (NibbleOr)
+//	at most 16 groups       ->  the 8-group method twice   (NibbleOr2)
+//
+// plus the naive method (one CmpEq8 per accepted value, OR-ed together),
+// which is both the fallback and the baseline for the Table 2 comparison.
+//
+// BuildRaw verifies each candidate strategy against the classification
+// function on all 256 bytes before accepting it, and falls through to the
+// next strategy otherwise. This guards the few-groups encodings against the
+// corner case where an upper nibble outside every group combines with a
+// lower nibble present in all groups.
+
+// Strategy identifies which §4.1 construction a RawClassifier uses.
+type Strategy int
+
+const (
+	// StrategyNaive ORs one comparison per accepted byte value.
+	StrategyNaive Strategy = iota
+	// StrategyNonOverlapping uses utab[u] == ltab[l] with unique group ids.
+	StrategyNonOverlapping
+	// StrategyFewGroups uses utab[u] | ltab[l] == 0xFF with one bit per group.
+	StrategyFewGroups
+	// StrategyGeneral applies StrategyFewGroups to two halves of the groups.
+	StrategyGeneral
+)
+
+// String returns the strategy name as used in benchmark output.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNaive:
+		return "naive"
+	case StrategyNonOverlapping:
+		return "non-overlapping"
+	case StrategyFewGroups:
+		return "few-groups"
+	case StrategyGeneral:
+		return "general"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ByteClass is a binary classification function over bytes.
+type ByteClass func(b byte) bool
+
+// group is an acceptance group ⟨U, L⟩ (§4.1, Definition 2): the set of
+// upper nibbles U sharing the acceptance set L of lower nibbles.
+type group struct {
+	uppers []int
+	lowers []int
+}
+
+// RawClassifier classifies blocks according to a fixed ByteClass using the
+// cheapest applicable §4.1 strategy.
+type RawClassifier struct {
+	strategy Strategy
+	utab     simd.NibbleTable
+	ltab     simd.NibbleTable
+	utab2    simd.NibbleTable
+	ltab2    simd.NibbleTable
+	values   []byte // accepted bytes, for the naive strategy
+}
+
+// Strategy reports which construction was selected.
+func (c *RawClassifier) Strategy() Strategy { return c.strategy }
+
+// Values returns the accepted byte values.
+func (c *RawClassifier) Values() []byte { return append([]byte(nil), c.values...) }
+
+// Classify returns the bitmask of positions in b whose bytes are accepted.
+func (c *RawClassifier) Classify(b *simd.Block) uint64 {
+	switch c.strategy {
+	case StrategyNonOverlapping:
+		return simd.NibbleEq(b, &c.utab, &c.ltab)
+	case StrategyFewGroups:
+		return simd.NibbleOr(b, &c.utab, &c.ltab)
+	case StrategyGeneral:
+		return simd.NibbleOr2(b, &c.utab, &c.ltab, &c.utab2, &c.ltab2)
+	default:
+		var mask uint64
+		for _, v := range c.values {
+			mask |= simd.CmpEq8(b, v)
+		}
+		return mask
+	}
+}
+
+// BuildRaw constructs a classifier for f, choosing the cheapest verified
+// strategy. It never fails: the naive strategy is always correct.
+func BuildRaw(f ByteClass) *RawClassifier {
+	values := acceptedValues(f)
+	groups := acceptanceGroups(f)
+
+	if len(groups) > 0 && !overlapping(groups) {
+		c := &RawClassifier{strategy: StrategyNonOverlapping, values: values}
+		c.utab, c.ltab = nonOverlappingTables(groups)
+		if verify(c, f) {
+			return c
+		}
+	}
+	if n := len(groups); n > 0 && n <= 8 {
+		c := &RawClassifier{strategy: StrategyFewGroups, values: values}
+		c.utab, c.ltab = fewGroupsTables(groups, false)
+		if verify(c, f) {
+			return c
+		}
+	}
+	if n := len(groups); n > 0 && n <= 7 {
+		// Reserve bit 7 so upper nibbles outside every group can never
+		// complete the OR to 0xFF, whatever the lower nibble contributes.
+		c := &RawClassifier{strategy: StrategyFewGroups, values: values}
+		c.utab, c.ltab = fewGroupsTables(groups, true)
+		if verify(c, f) {
+			return c
+		}
+	}
+	if n := len(groups); n > 7 && n <= 16 {
+		for _, reserve := range []bool{false, true} {
+			half := 8
+			if reserve {
+				half = 7
+			}
+			if n > 2*half {
+				continue
+			}
+			split := n / 2
+			if split > half {
+				split = half
+			}
+			c := &RawClassifier{strategy: StrategyGeneral, values: values}
+			c.utab, c.ltab = fewGroupsTables(groups[:split], reserve)
+			c.utab2, c.ltab2 = fewGroupsTables(groups[split:], reserve)
+			if verify(c, f) {
+				return c
+			}
+		}
+	}
+	return &RawClassifier{strategy: StrategyNaive, values: values}
+}
+
+// BuildNaive constructs the naive classifier regardless of structure, for
+// the Table 2 comparison.
+func BuildNaive(f ByteClass) *RawClassifier {
+	return &RawClassifier{strategy: StrategyNaive, values: acceptedValues(f)}
+}
+
+func acceptedValues(f ByteClass) []byte {
+	var values []byte
+	for v := 0; v < 256; v++ {
+		if f(byte(v)) {
+			values = append(values, byte(v))
+		}
+	}
+	return values
+}
+
+// acceptanceGroups computes G (§4.1, Definition 2), omitting groups with
+// empty acceptance sets (their bytes are all rejected).
+func acceptanceGroups(f ByteClass) []group {
+	byKey := make(map[uint16][]int)
+	lows := make(map[int]uint16)
+	for u := 0; u < 16; u++ {
+		var key uint16
+		for l := 0; l < 16; l++ {
+			if f(byte(u<<4 | l)) {
+				key |= 1 << uint(l)
+			}
+		}
+		lows[u] = key
+		if key != 0 {
+			byKey[key] = append(byKey[key], u)
+		}
+	}
+	keys := make([]uint16, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	groups := make([]group, 0, len(keys))
+	for _, k := range keys {
+		g := group{uppers: byKey[k]}
+		for l := 0; l < 16; l++ {
+			if k&(1<<uint(l)) != 0 {
+				g.lowers = append(g.lowers, l)
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// overlapping reports whether any two groups share a lower nibble
+// (§4.1, Definition 3).
+func overlapping(groups []group) bool {
+	var seen uint16
+	for _, g := range groups {
+		var key uint16
+		for _, l := range g.lowers {
+			key |= 1 << uint(l)
+		}
+		if seen&key != 0 {
+			return true
+		}
+		seen |= key
+	}
+	return false
+}
+
+// nonOverlappingTables builds the utab/ltab pair for the non-overlapping
+// case: group i+1 as the shared id, 0xFE/0xFF as never-equal sentinels.
+func nonOverlappingTables(groups []group) (utab, ltab simd.NibbleTable) {
+	for i := range utab {
+		utab[i], ltab[i] = 0xFE, 0xFF
+	}
+	for i, g := range groups {
+		id := byte(i + 1)
+		for _, u := range g.uppers {
+			utab[u] = id
+		}
+		for _, l := range g.lowers {
+			ltab[l] = id
+		}
+	}
+	return utab, ltab
+}
+
+// fewGroupsTables builds the utab/ltab pair for the ≤8-groups case: utab
+// clears the group's bit from all-ones, ltab accumulates the bits of every
+// group whose acceptance set holds the nibble. With reserve set, bit 7 is
+// kept out of every group and cleared in the entries of upper nibbles that
+// belong to no group, so those bytes can never reach 0xFF (this caps the
+// group count at 7 but closes the unmapped-upper corner case).
+func fewGroupsTables(groups []group, reserve bool) (utab, ltab simd.NibbleTable) {
+	if reserve {
+		for i := range utab {
+			utab[i] = 0x7F
+		}
+	}
+	for i, g := range groups {
+		bit := byte(1) << uint(i)
+		for _, u := range g.uppers {
+			utab[u] = 0xFF &^ bit
+		}
+		for _, l := range g.lowers {
+			ltab[l] |= bit
+		}
+	}
+	return utab, ltab
+}
+
+// verify checks the classifier against f on every byte value.
+func verify(c *RawClassifier, f ByteClass) bool {
+	var b simd.Block
+	for base := 0; base < 256; base += simd.BlockSize {
+		for i := 0; i < simd.BlockSize; i++ {
+			b[i] = byte(base + i)
+		}
+		mask := c.Classify(&b)
+		for i := 0; i < simd.BlockSize; i++ {
+			if mask>>uint(i)&1 == 1 != f(byte(base+i)) {
+				return false
+			}
+		}
+	}
+	return true
+}

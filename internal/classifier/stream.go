@@ -1,0 +1,94 @@
+package classifier
+
+import "rsonpath/internal/simd"
+
+// Stream drives block-by-block classification of one input document. It is
+// the concrete embodiment of the paper's multi-classifier pipeline core
+// (§4.5): the quote classifier always runs, one block ahead of whichever
+// top-level classifier (structural or depth) is currently active, and its
+// state travels with the Stream when classifiers are switched.
+//
+// A Stream only moves forward. The current block's bytes and quote masks
+// are exposed to the structural classifier, the depth classifier and the
+// label seeker; each of them tracks its own within-block cursor.
+type Stream struct {
+	data       []byte
+	blockStart int         // absolute offset of the current block
+	blockLen   int         // number of real (non-padding) bytes in the block
+	block      *simd.Block // points into data for full blocks (zero copy)
+	tail       simd.Block  // padded storage for the final partial block
+
+	quotes     quoteState // state at the start of the current block
+	postQuotes quoteState // state at the end of the current block
+
+	quoteMask uint64 // unescaped quotes in the current block
+	inString  uint64 // in-string positions in the current block
+}
+
+// NewStream creates a stream over data and classifies the first block.
+func NewStream(data []byte) *Stream {
+	s := &Stream{data: data}
+	s.loadBlock()
+	return s
+}
+
+func (s *Stream) loadBlock() {
+	if s.blockStart >= len(s.data) {
+		s.blockLen = 0
+		s.block = &s.tail
+		simd.LoadBlock(&s.tail, nil, ' ')
+		s.quoteMask, s.inString = 0, 0
+		s.postQuotes = s.quotes
+		return
+	}
+	if rest := s.data[s.blockStart:]; len(rest) >= simd.BlockSize {
+		// Full block: classify in place, no copy.
+		s.block = (*simd.Block)(rest)
+		s.blockLen = simd.BlockSize
+	} else {
+		s.blockLen = simd.LoadBlock(&s.tail, rest, ' ')
+		s.block = &s.tail
+	}
+	qs := s.quotes
+	backslash, rawQuotes := simd.CmpEq8Pair(s.block, '\\', '"')
+	s.quoteMask, s.inString = qs.classifyMasks(backslash, rawQuotes)
+	s.postQuotes = qs
+}
+
+// Advance moves to the next block. It reports false when the input is
+// exhausted.
+func (s *Stream) Advance() bool {
+	if s.blockStart+simd.BlockSize >= len(s.data) {
+		s.blockStart = len(s.data)
+		s.blockLen = 0
+		return false
+	}
+	s.blockStart += simd.BlockSize
+	s.quotes = s.postQuotes
+	s.loadBlock()
+	return true
+}
+
+// BlockStart returns the absolute offset of the current block.
+func (s *Stream) BlockStart() int { return s.blockStart }
+
+// Len returns the total input length.
+func (s *Stream) Len() int { return len(s.data) }
+
+// Data returns the underlying input. Classifiers use it for the rare
+// scalar verifications (label backtracking, candidate checks) that the
+// paper performs outside the SIMD pipeline.
+func (s *Stream) Data() []byte { return s.data }
+
+// Exhausted reports whether the current block is past the end of input.
+func (s *Stream) Exhausted() bool { return s.blockStart >= len(s.data) }
+
+// InString returns the in-string mask of the current block.
+func (s *Stream) InString() uint64 { return s.inString }
+
+// QuoteMask returns the unescaped-quote mask of the current block.
+func (s *Stream) QuoteMask() uint64 { return s.quoteMask }
+
+// Block returns the current block's bytes (padded with spaces past the
+// input's end).
+func (s *Stream) Block() *simd.Block { return s.block }

@@ -1,0 +1,188 @@
+package classifier
+
+import "rsonpath/internal/simd"
+
+// The paper's structural lookup tables (§4.1). JSON structural characters
+// and their nibble decomposition:
+//
+//	{ 0x7B   } 0x7D   [ 0x5B   ] 0x5D   : 0x3A   , 0x2C
+//
+// Acceptance groups: ⟨{5,7},{B,D}⟩ → 1, ⟨{2},{C}⟩ → 2, ⟨{3},{A}⟩ → 3.
+// The groups are non-overlapping, so classification is
+// utab[upper] == ltab[lower], with sentinels 0xFE/0xFF that never match.
+var (
+	structuralUtab = simd.NibbleTable{
+		0xFE, 0xFE, 0x02, 0x03, 0xFE, 0x01, 0xFE, 0x01,
+		0xFE, 0xFE, 0xFE, 0xFE, 0xFE, 0xFE, 0xFE, 0xFE,
+	}
+	structuralLtab = simd.NibbleTable{
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+		0xFF, 0xFF, 0x03, 0x01, 0x02, 0x01, 0xFF, 0xFF,
+	}
+)
+
+// Toggle masks (§4.1): commas and colons do not share their upper nibble
+// with any other accepted symbol, so XOR-ing their utab entry turns them
+// off and on independently.
+const (
+	toggleCommaUpper = 0x2
+	toggleColonUpper = 0x3
+	commaGroup       = 0x02
+	colonGroup       = 0x03
+)
+
+// Structural is the structural classifier plus the within-block cursor that
+// backs the engine's iterator (§4.3). By default it recognises only the
+// opening and closing characters, which amounts to skipping leaves (§3.3);
+// commas and colons are toggled on demand.
+//
+// Toggling implementation: the paper XORs the upper lookup table and
+// reclassifies the block. In scalar Go reclassification costs a pass over
+// the block, and the engine toggles at every element boundary, so instead
+// the classifier keeps the always-on brace mask per block (one composed
+// table pass) and computes the comma and colon masks lazily (one SWAR
+// comparison pass each, at most once per block); a toggle then merely
+// changes which masks are OR-ed together. The visible semantics — newly
+// enabled characters appear only from the consumption point onward — are
+// identical (see DESIGN.md).
+//
+// Consumption model: bits strictly below consumed (relative to the current
+// block) are gone for good; Next advances consumed past the bit it returns;
+// Peek does not.
+type Structural struct {
+	s        *Stream
+	bracesM  uint64
+	commaM   uint64
+	colonM   uint64
+	commaOK  bool // commaM computed for the current block
+	colonOK  bool // colonM computed for the current block
+	consumed int  // relative index below which the current block is consumed
+	commas   bool
+	colons   bool
+}
+
+// bracesTable is the composed lookup for the always-on symbols: the paper's
+// utab with both the comma and the colon group toggled off.
+var bracesTable = func() simd.ByteTable {
+	utab := structuralUtab
+	utab[toggleCommaUpper] ^= commaGroup
+	utab[toggleColonUpper] ^= colonGroup
+	return simd.CompileNibbleEq(&utab, &structuralLtab)
+}()
+
+// NewStructural creates a structural classifier over s, starting at
+// absolute offset from. The stream's current block must contain from (or
+// precede it by at most the consumed prefix).
+func NewStructural(s *Stream, from int) *Structural {
+	c := &Structural{s: s}
+	c.Reset(from)
+	return c
+}
+
+// onBlock recomputes the per-block masks after the stream advanced.
+func (c *Structural) onBlock() {
+	c.bracesM = simd.ClassifyBytes(c.s.Block(), &bracesTable) &^ c.s.InString()
+	c.commaOK, c.colonOK = false, false
+}
+
+// active returns the enabled-symbol mask of the current block, computing
+// the lazy comma/colon masks if needed.
+func (c *Structural) active() uint64 {
+	m := c.bracesM
+	if c.commas {
+		if !c.commaOK {
+			c.commaM = simd.CmpEq8(c.s.Block(), ',') &^ c.s.InString()
+			c.commaOK = true
+		}
+		m |= c.commaM
+	}
+	if c.colons {
+		if !c.colonOK {
+			c.colonM = simd.CmpEq8(c.s.Block(), ':') &^ c.s.InString()
+			c.colonOK = true
+		}
+		m |= c.colonM
+	}
+	return m
+}
+
+// Reset repositions the classifier so the next structural character
+// returned is at absolute offset from or later. This is the resume step of
+// the pipeline (§4.5), used after the depth classifier or the label seeker
+// has moved the stream.
+func (c *Structural) Reset(from int) {
+	// Advance (sequentially, keeping the quote state exact) until the
+	// current block contains from; a stale within-block cursor would
+	// otherwise replay events between the block start and from.
+	for c.s.BlockStart()+simd.BlockSize <= from {
+		if !c.s.Advance() {
+			break
+		}
+	}
+	rel := from - c.s.BlockStart()
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > simd.BlockSize {
+		rel = simd.BlockSize
+	}
+	c.consumed = rel
+	c.onBlock()
+}
+
+// Position returns the absolute offset from which the next scan proceeds:
+// everything before it has been consumed or skipped.
+func (c *Structural) Position() int {
+	return c.s.BlockStart() + c.consumed
+}
+
+// Commas reports whether comma events are currently enabled.
+func (c *Structural) Commas() bool { return c.commas }
+
+// Colons reports whether colon events are currently enabled.
+func (c *Structural) Colons() bool { return c.colons }
+
+// SetCommas toggles comma recognition (§4.3).
+func (c *Structural) SetCommas(on bool) { c.commas = on }
+
+// SetColons toggles colon recognition (§4.3).
+func (c *Structural) SetColons(on bool) { c.colons = on }
+
+// Next returns the next enabled structural character and consumes it.
+// ok is false at end of input.
+func (c *Structural) Next() (pos int, ch byte, ok bool) {
+	rel, ch, ok := c.scan()
+	if !ok {
+		return 0, 0, false
+	}
+	c.consumed = rel + 1
+	return c.s.BlockStart() + rel, ch, true
+}
+
+// Peek returns the next enabled structural character without consuming it.
+// Peeking may advance the stream to later blocks when the current block is
+// exhausted; this is safe because exhausted blocks hold nothing enabled.
+func (c *Structural) Peek() (pos int, ch byte, ok bool) {
+	rel, ch, ok := c.scan()
+	if !ok {
+		return 0, 0, false
+	}
+	return c.s.BlockStart() + rel, ch, true
+}
+
+// scan locates the next enabled bit at or after the consumption point,
+// crossing blocks as needed.
+func (c *Structural) scan() (rel int, ch byte, ok bool) {
+	for {
+		m := c.active() &^ simd.BitsBelow(c.consumed)
+		if m != 0 {
+			bit := simd.TrailingZeros(m)
+			return bit, c.s.Block()[bit], true
+		}
+		if !c.s.Advance() {
+			return 0, 0, false
+		}
+		c.consumed = 0
+		c.onBlock()
+	}
+}

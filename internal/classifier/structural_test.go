@@ -1,0 +1,193 @@
+package classifier
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// collect drains the classifier, returning positions and characters.
+func collect(c *Structural) (pos []int, chars []byte) {
+	for {
+		p, ch, ok := c.Next()
+		if !ok {
+			return pos, chars
+		}
+		pos = append(pos, p)
+		chars = append(chars, ch)
+	}
+}
+
+// refStructural returns positions of enabled structural characters outside
+// strings, per the scalar oracle.
+func refStructural(data []byte, commas, colons bool) (pos []int, chars []byte) {
+	_, inString := refQuoteScan(data)
+	for i, b := range data {
+		if inString[i] {
+			continue
+		}
+		switch b {
+		case '{', '}', '[', ']':
+		case ',':
+			if !commas {
+				continue
+			}
+		case ':':
+			if !colons {
+				continue
+			}
+		default:
+			continue
+		}
+		pos = append(pos, i)
+		chars = append(chars, b)
+	}
+	return pos, chars
+}
+
+func assertStructural(t *testing.T, data string, commas, colons bool) {
+	t.Helper()
+	c := NewStructural(NewStream([]byte(data)), 0)
+	c.SetCommas(commas)
+	c.SetColons(colons)
+	gotPos, gotCh := collect(c)
+	wantPos, wantCh := refStructural([]byte(data), commas, colons)
+	if len(gotPos) != len(wantPos) {
+		t.Fatalf("%q commas=%v colons=%v: got %d events %v, want %d %v",
+			data, commas, colons, len(gotPos), gotPos, len(wantPos), wantPos)
+	}
+	for i := range gotPos {
+		if gotPos[i] != wantPos[i] || gotCh[i] != wantCh[i] {
+			t.Fatalf("%q event %d: got (%d,%q) want (%d,%q)",
+				data, i, gotPos[i], gotCh[i], wantPos[i], wantCh[i])
+		}
+	}
+}
+
+func TestStructuralDefaultSkipsCommasColons(t *testing.T) {
+	assertStructural(t, `{"a": 1, "b": [2, 3]}`, false, false)
+}
+
+func TestStructuralAllEnabled(t *testing.T) {
+	assertStructural(t, `{"a": 1, "b": [2, 3]}`, true, true)
+	assertStructural(t, `{"a": 1, "b": [2, 3]}`, true, false)
+	assertStructural(t, `{"a": 1, "b": [2, 3]}`, false, true)
+}
+
+func TestStructuralIgnoresStrings(t *testing.T) {
+	assertStructural(t, `{"tricky": "br{ck[t]s, and: commas"}`, true, true)
+	assertStructural(t, `{"esc\"aped": "{\"a\":[1,2]}"}`, true, true)
+}
+
+func TestStructuralRandomDocs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	alphabet := []byte(`{}[]:," \ab123`)
+	for trial := 0; trial < 400; trial++ {
+		n := r.Intn(200)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		assertStructural(t, string(data), r.Intn(2) == 0, r.Intn(2) == 0)
+	}
+}
+
+func TestStructuralMidStreamToggle(t *testing.T) {
+	// Enable commas only after consuming the first few events: commas
+	// before the toggle point must not appear; commas after must.
+	data := `[1,2,[3,4],5,6]`
+	c := NewStructural(NewStream([]byte(data)), 0)
+	p, ch, ok := c.Next() // '[' at 0
+	if !ok || ch != '[' || p != 0 {
+		t.Fatalf("first event (%d,%q,%v)", p, ch, ok)
+	}
+	c.SetCommas(true)
+	var got []int
+	for {
+		p, ch, ok := c.Next()
+		if !ok {
+			break
+		}
+		if ch == ',' {
+			got = append(got, p)
+		}
+	}
+	want := []int{2, 4, 7, 10, 12} // all commas outside [0]
+	if len(got) != len(want) {
+		t.Fatalf("comma positions %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("comma positions %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStructuralToggleHidesConsumedRegion(t *testing.T) {
+	// After consuming past position 6, enabling commas must not resurrect
+	// the comma at position 2.
+	data := `[1,{"x":[0]},3]`
+	c := NewStructural(NewStream([]byte(data)), 0)
+	for i := 0; i < 3; i++ { // '[' '{' '['
+		if _, _, ok := c.Next(); !ok {
+			t.Fatal("unexpected end")
+		}
+	}
+	c.SetCommas(true)
+	gotPos, _ := collect(c)
+	for _, p := range gotPos {
+		if p <= 8 {
+			t.Fatalf("event at consumed position %d returned after toggle", p)
+		}
+	}
+}
+
+func TestStructuralPeekDoesNotConsume(t *testing.T) {
+	data := `{"a":[1]}`
+	c := NewStructural(NewStream([]byte(data)), 0)
+	p1, ch1, _ := c.Peek()
+	p2, ch2, _ := c.Peek()
+	if p1 != p2 || ch1 != ch2 {
+		t.Fatal("repeated Peek disagrees")
+	}
+	p3, ch3, _ := c.Next()
+	if p3 != p1 || ch3 != ch1 {
+		t.Fatal("Next disagrees with Peek")
+	}
+}
+
+func TestStructuralPeekAcrossBlocks(t *testing.T) {
+	data := `[` + strings.Repeat(" ", 200) + `]`
+	c := NewStructural(NewStream([]byte(data)), 0)
+	c.Next() // '['
+	p, ch, ok := c.Peek()
+	if !ok || ch != ']' || p != 201 {
+		t.Fatalf("peek across blocks: (%d,%q,%v)", p, ch, ok)
+	}
+	p, ch, ok = c.Next()
+	if !ok || ch != ']' || p != 201 {
+		t.Fatalf("next after far peek: (%d,%q,%v)", p, ch, ok)
+	}
+}
+
+func TestStructuralResetFrom(t *testing.T) {
+	data := `{"a":{"b":1}}`
+	s := NewStream([]byte(data))
+	c := NewStructural(s, 5) // start at the inner '{'
+	p, ch, ok := c.Next()
+	if !ok || ch != '{' || p != 5 {
+		t.Fatalf("reset start: (%d,%q,%v)", p, ch, ok)
+	}
+}
+
+func TestStructuralAtBlockEdges(t *testing.T) {
+	// Structural characters exactly at positions 63, 64, 127, 128.
+	var b strings.Builder
+	b.WriteString(strings.Repeat(" ", 63))
+	b.WriteString("{")                     // 63
+	b.WriteString("[")                     // 64
+	b.WriteString(strings.Repeat(" ", 62)) // 65..126
+	b.WriteString("]")                     // 127
+	b.WriteString("}")                     // 128
+	assertStructural(t, b.String(), true, true)
+}

@@ -1,0 +1,152 @@
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refSeekWithin is the scalar oracle for SeekLabelWithin.
+func refSeekWithin(data []byte, from int, label []byte, rel int) TailEvent {
+	quotes, inString := refQuoteScan(data)
+	delta := 0
+	for i := from; i < len(data); i++ {
+		if inString[i] {
+			if quotes[i] && i >= from {
+				// opening quote: candidate
+				if vs, ok := verifyKey(data, i, label); ok {
+					return TailEvent{Kind: TailKey, KeyAt: i, ValueAt: vs, DepthDelta: delta}
+				}
+			}
+			continue
+		}
+		switch data[i] {
+		case '{', '[':
+			rel++
+			delta++
+		case '}', ']':
+			rel--
+			delta--
+			if rel == 0 {
+				return TailEvent{Kind: TailClose, Pos: i}
+			}
+		}
+	}
+	return TailEvent{Kind: TailEnd}
+}
+
+func assertSeekWithin(t *testing.T, data string, from int, label string, rel int) {
+	t.Helper()
+	s := NewStream([]byte(data))
+	got := SeekLabelWithin(s, from, []byte(label), rel)
+	want := refSeekWithin([]byte(data), from, []byte(label), rel)
+	if got != want {
+		t.Fatalf("SeekLabelWithin(%q, %d, %q, %d) = %+v, want %+v",
+			data, from, label, rel, got, want)
+	}
+}
+
+func TestSeekWithinFindsKey(t *testing.T) {
+	assertSeekWithin(t, `{"x": 1, "b": 2}`, 1, "b", 1)
+	assertSeekWithin(t, `{"x": {"b": 2}}`, 1, "b", 1)
+	assertSeekWithin(t, `{"x": [{"b": 2}]}`, 1, "b", 1)
+}
+
+func TestSeekWithinStopsAtBoundary(t *testing.T) {
+	// "b" exists only after the element closes: the closer must win.
+	assertSeekWithin(t, `{"x": 1}, {"b": 2}`, 1, "b", 1)
+	assertSeekWithin(t, `{"x": {"y": 0}} {"b": 1}`, 1, "b", 1)
+	// Starting deeper: rel=2 requires two unmatched closers.
+	assertSeekWithin(t, `{"x": 1} } {"b": 2}`, 1, "b", 2)
+}
+
+func TestSeekWithinIgnoresStringsAndValues(t *testing.T) {
+	assertSeekWithin(t, `{"s": "\"b\": 1", "v": "b", "b": 3}`, 1, "b", 1)
+	assertSeekWithin(t, `{"s": "}}}}", "b": 3}`, 1, "b", 1)
+	assertSeekWithin(t, `{"bb": 1, "b": 2}`, 1, "b", 1)
+}
+
+func TestSeekWithinDepthDelta(t *testing.T) {
+	s := NewStream([]byte(`{"x": {"y": {"b": 1}}}`))
+	ev := SeekLabelWithin(s, 1, []byte("b"), 1)
+	if ev.Kind != TailKey || ev.DepthDelta != 2 {
+		t.Fatalf("event %+v, want TailKey with delta 2", ev)
+	}
+	s = NewStream([]byte(`{"x": {"y": 0}, "b": 1}`))
+	ev = SeekLabelWithin(s, 1, []byte("b"), 1)
+	if ev.Kind != TailKey || ev.DepthDelta != 0 {
+		t.Fatalf("event %+v, want TailKey with delta 0", ev)
+	}
+}
+
+func TestSeekWithinFastPathBlocks(t *testing.T) {
+	// Large candidate-free, closer-poor middle section exercises the
+	// whole-block fast path.
+	mid := strings.Repeat(`{"k":[0],`, 40)
+	doc := `{` + mid + `"b": 1` + strings.Repeat(`}`, 41)
+	assertSeekWithin(t, doc, 1, "b", 1)
+	assertSeekWithin(t, doc, 1, "zz", 1)
+}
+
+func TestSeekWithinEndOfInput(t *testing.T) {
+	assertSeekWithin(t, `{"x": 1`, 1, "b", 1)
+	assertSeekWithin(t, ``, 0, "b", 1)
+}
+
+func TestSeekWithinRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 500; trial++ {
+		doc := randomTailDoc(r, 4)
+		// Start just inside the document root when it is composite.
+		if len(doc) == 0 || (doc[0] != '{' && doc[0] != '[') {
+			continue
+		}
+		label := []string{"a", "b", "zz"}[r.Intn(3)]
+		assertSeekWithin(t, doc, 1, label, 1)
+	}
+}
+
+func randomTailDoc(r *rand.Rand, depth int) string {
+	var b strings.Builder
+	var gen func(d int)
+	gen = func(d int) {
+		kind := r.Intn(8)
+		if d <= 0 && kind < 4 {
+			kind += 4
+		}
+		switch {
+		case kind < 2:
+			b.WriteByte('{')
+			keys := []string{"a", "b", "c"}
+			perm := r.Perm(len(keys))
+			n := r.Intn(3)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%q:", keys[perm[i]])
+				gen(d - 1)
+			}
+			b.WriteByte('}')
+		case kind < 4:
+			b.WriteByte('[')
+			n := r.Intn(3)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				gen(d - 1)
+			}
+			b.WriteByte(']')
+		case kind < 6:
+			fmt.Fprintf(&b, "%d", r.Intn(100))
+		case kind < 7:
+			b.WriteString(`"s{\"b\":1}"`)
+		default:
+			b.WriteString("null")
+		}
+	}
+	gen(depth)
+	return b.String()
+}

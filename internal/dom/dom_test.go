@@ -1,0 +1,246 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+
+	"rsonpath/internal/jsonpath"
+)
+
+func values(t *testing.T, data string, nodes []*Node) []string {
+	t.Helper()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = data[n.Start:n.End]
+	}
+	return out
+}
+
+func assertEval(t *testing.T, doc, query string, sem Semantics, want ...string) {
+	t.Helper()
+	root, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", doc, err)
+	}
+	got := values(t, doc, Eval(root, jsonpath.MustParse(query), sem))
+	if len(got) != len(want) {
+		t.Fatalf("%s on %s (%v): got %q, want %q", query, doc, sem, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s on %s (%v): got %q, want %q", query, doc, sem, got, want)
+		}
+	}
+}
+
+func TestParseOffsets(t *testing.T) {
+	doc := `{"a": [1, "two", {"b": true}], "c": null}`
+	root := MustParse([]byte(doc))
+	if root.Kind != KindObject || root.Start != 0 || root.End != len(doc) {
+		t.Fatalf("root: %+v", root)
+	}
+	a := root.Members[0]
+	if string(a.Key) != "a" || a.KeyStart != 1 {
+		t.Fatalf("member a: %+v", a)
+	}
+	arr := a.Value
+	if arr.Kind != KindArray || doc[arr.Start:arr.End] != `[1, "two", {"b": true}]` {
+		t.Fatalf("array: %q", doc[arr.Start:arr.End])
+	}
+	if doc[arr.Elems[0].Start:arr.Elems[0].End] != "1" {
+		t.Fatal("number offsets")
+	}
+	if doc[arr.Elems[1].Start:arr.Elems[1].End] != `"two"` {
+		t.Fatal("string offsets")
+	}
+	if root.Members[1].Value.Kind != KindNull {
+		t.Fatal("null kind")
+	}
+}
+
+func TestParseScalars(t *testing.T) {
+	for _, doc := range []string{`1`, `-1.5e+10`, `0`, `"s"`, `true`, `false`, `null`, `""`, `0.5`, `1E2`} {
+		if _, err := Parse([]byte(doc)); err != nil {
+			t.Errorf("Parse(%q): %v", doc, err)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	MustParse([]byte(" \t\r\n { \"a\" : [ 1 , 2 ] } \n"))
+}
+
+func TestParseEscapes(t *testing.T) {
+	root := MustParse([]byte(`{"a\"b": "A\\\n"}`))
+	if string(root.Members[0].Key) != `a\"b` {
+		t.Fatalf("raw key = %q", root.Members[0].Key)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `{`, `}`, `{"a"}`, `{"a":}`, `{"a":1,}`, `[1,]`, `[1 2]`,
+		`"unterminated`, `tru`, `nul`, `01`, `1.`, `1e`, `+1`, `--1`,
+		`{"a":1} extra`, `{'a':1}`, `{"a":1,"b"}`, "\"ctrl\x01\"", `"\x"`,
+		`"\u00G0"`, `[`, `{"a":[}]`,
+	}
+	for _, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", doc)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Parse(%q) error type %T", doc, err)
+		}
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	depth := 10000
+	doc := strings.Repeat("[", depth) + "1" + strings.Repeat("]", depth)
+	root := MustParse([]byte(doc))
+	if root.Kind != KindArray {
+		t.Fatal("not an array")
+	}
+}
+
+func TestEvalPaperSection2Example(t *testing.T) {
+	// §2: in {a:[{b:{c:1}}, {b:[2]}]}, the query $.a..b.* returns 1 and 2.
+	assertEval(t, `{"a":[{"b":{"c":1}}, {"b":[2]}]}`, "$.a..b.*", NodeSemantics, "1", "2")
+}
+
+func TestEvalPaperSemanticsExample(t *testing.T) {
+	// §2: {a:{a:{a:{b:"Yay!"}}}} and $..a..b — one node, three paths.
+	doc := `{"a":{"a":{"a":{"b":"Yay!"}}}}`
+	assertEval(t, doc, "$..a..b", NodeSemantics, `"Yay!"`)
+	assertEval(t, doc, "$..a..b", PathSemantics, `"Yay!"`, `"Yay!"`, `"Yay!"`)
+}
+
+func TestEvalAppendixDExample(t *testing.T) {
+	// Appendix D's document (values shortened as in the paper): the query
+	// $..person..name yields A B C D under node semantics and
+	// A B C D C D under path semantics.
+	doc := `{
+	  "person": {
+	    "name": "A",
+	    "spouse": {"name": "B"},
+	    "person": {
+	      "children": [{"name": "C"}, {"name": "D"}]
+	    }
+	  }
+	}`
+	assertEval(t, doc, "$..person..name", NodeSemantics, `"A"`, `"B"`, `"C"`, `"D"`)
+	got := values(t, doc, Eval(MustParse([]byte(doc)), jsonpath.MustParse("$..person..name"), PathSemantics))
+	// Path semantics: 6 results, with C and D matched twice.
+	if len(got) != 6 {
+		t.Fatalf("path semantics returned %d results: %q", len(got), got)
+	}
+	counts := map[string]int{}
+	for _, v := range got {
+		counts[v]++
+	}
+	if counts[`"A"`] != 1 || counts[`"B"`] != 1 || counts[`"C"`] != 2 || counts[`"D"`] != 2 {
+		t.Fatalf("path semantics multiset wrong: %q", got)
+	}
+}
+
+func TestEvalChildSelectors(t *testing.T) {
+	doc := `{"a": {"b": 1, "c": 2}, "d": [3, 4]}`
+	assertEval(t, doc, "$.a.b", NodeSemantics, "1")
+	assertEval(t, doc, "$.a.*", NodeSemantics, "1", "2")
+	assertEval(t, doc, "$.d.*", NodeSemantics, "3", "4")
+	assertEval(t, doc, "$.*.*", NodeSemantics, "1", "2", "3", "4")
+	assertEval(t, doc, "$.missing", NodeSemantics)
+	assertEval(t, doc, "$.d.b", NodeSemantics) // label into array: nothing
+	assertEval(t, doc, "$", NodeSemantics, doc)
+}
+
+func TestEvalWildcardOnObjectAndArray(t *testing.T) {
+	// Idiomatic wildcard (§1.1): object fields AND array entries.
+	doc := `{"o": {"x": 1}, "a": [2]}`
+	assertEval(t, doc, "$.*.*", NodeSemantics, "1", "2")
+}
+
+func TestEvalDescendants(t *testing.T) {
+	doc := `{"a": {"a": {"b": 1}, "b": 2}, "b": [{"b": 3}]}`
+	assertEval(t, doc, "$..b", NodeSemantics, "1", "2", `[{"b": 3}]`, "3")
+	assertEval(t, doc, "$..a..b", NodeSemantics, "1", "2")
+	assertEval(t, doc, "$..a.b", NodeSemantics, "1", "2")
+}
+
+func TestEvalDescendantWildcard(t *testing.T) {
+	doc := `{"a": [1, {"b": 2}]}`
+	// ..* selects every subdocument below the root.
+	assertEval(t, doc, "$..*", NodeSemantics,
+		`[1, {"b": 2}]`, "1", `{"b": 2}`, "2")
+}
+
+func TestEvalIndexes(t *testing.T) {
+	doc := `{"a": [10, 20, 30], "b": [[1], [2, 3]]}`
+	assertEval(t, doc, "$.a[0]", NodeSemantics, "10")
+	assertEval(t, doc, "$.a[2]", NodeSemantics, "30")
+	assertEval(t, doc, "$.a[3]", NodeSemantics)
+	assertEval(t, doc, "$.b.*[0]", NodeSemantics, "1", "2")
+	assertEval(t, doc, "$..[1]", NodeSemantics, "20", `[2, 3]`, "3")
+}
+
+func TestEvalDuplicateKeys(t *testing.T) {
+	doc := `{"a": 1, "a": 2}`
+	assertEval(t, doc, "$.a", NodeSemantics, "1", "2")
+}
+
+func TestEvalNestedSameLabelGreedyCase(t *testing.T) {
+	// The A2-style ambiguous query from §5.6.
+	doc := `{"inner": {"inner": {"type": {"qualType": "int"}}}}`
+	assertEval(t, doc, "$..inner..inner..type.qualType", NodeSemantics, `"int"`)
+}
+
+func TestEvalAtomicRoot(t *testing.T) {
+	assertEval(t, `42`, "$", NodeSemantics, "42")
+	assertEval(t, `42`, "$.a", NodeSemantics)
+	assertEval(t, `42`, "$..a", NodeSemantics)
+}
+
+func TestEvalRawKeyMatching(t *testing.T) {
+	// Keys are compared byte-verbatim: an escaped key in the document does
+	// not match its decoded form, and vice versa.
+	doc := `{"a\nb": 1}`
+	assertEval(t, doc, `$['a\nb']`, NodeSemantics, "1")
+}
+
+func TestMatchOffsetsSorted(t *testing.T) {
+	doc := `{"x": {"a": 1}, "a": 2}`
+	root := MustParse([]byte(doc))
+	offs := MatchOffsets(root, jsonpath.MustParse("$..a"))
+	if len(offs) != 2 || offs[0] >= offs[1] {
+		t.Fatalf("offsets %v", offs)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindObject, KindArray, KindString, KindNumber, KindBool, KindNull}
+	want := []string{"object", "array", "string", "number", "bool", "null"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestEvalUnions(t *testing.T) {
+	doc := `{"a": 1, "b": [10, 20, 30], "c": {"a": 2, "d": 3}}`
+	assertEval(t, doc, "$['a','c']", NodeSemantics, "1", `{"a": 2, "d": 3}`)
+	assertEval(t, doc, "$.b[0,2]", NodeSemantics, "10", "30")
+	assertEval(t, doc, "$.b[2,0]", NodeSemantics, "10", "30") // node semantics: document order
+	assertEval(t, doc, "$..['a','d']", NodeSemantics, "1", "2", "3")
+	assertEval(t, doc, "$['b',0].*", NodeSemantics, "10", "20", "30")
+}
+
+func TestEvalSlices(t *testing.T) {
+	doc := `{"a": [10, 20, 30, 40], "b": {"c": [1, 2]}}`
+	assertEval(t, doc, "$.a[1:3]", NodeSemantics, "20", "30")
+	assertEval(t, doc, "$.a[2:]", NodeSemantics, "30", "40")
+	assertEval(t, doc, "$.a[:2]", NodeSemantics, "10", "20")
+	assertEval(t, doc, "$.a[:]", NodeSemantics, "10", "20", "30", "40")
+	assertEval(t, doc, "$.a[3:17]", NodeSemantics, "40")
+	assertEval(t, doc, "$..[1:2]", NodeSemantics, "20", "2")
+	assertEval(t, doc, "$.a[0,2:4]", NodeSemantics, "10", "30", "40")
+}

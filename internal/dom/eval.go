@@ -1,0 +1,123 @@
+package dom
+
+import (
+	"sort"
+
+	"rsonpath/internal/jsonpath"
+)
+
+// Semantics selects between the two JSONPath result semantics of §2.
+type Semantics int
+
+const (
+	// NodeSemantics returns the set of matched nodes in document order —
+	// the semantics the paper adopts and all engines here implement.
+	NodeSemantics Semantics = iota
+	// PathSemantics returns one result per way a node can be matched
+	// (a multiset), as most legacy implementations do (Appendix D).
+	PathSemantics
+)
+
+// Eval evaluates q over the parsed document in the requested semantics.
+// Under NodeSemantics the result is deduplicated and sorted in document
+// order; under PathSemantics duplicates are kept in match-generation order.
+func Eval(root *Node, q *jsonpath.Query, sem Semantics) []*Node {
+	current := []*Node{root}
+	for i := range q.Selectors {
+		sel := &q.Selectors[i]
+		var next []*Node
+		for _, n := range current {
+			next = applySelector(sel, n, next)
+		}
+		if sem == NodeSemantics {
+			next = dedupe(next)
+		}
+		current = next
+	}
+	if sem == NodeSemantics {
+		sort.Slice(current, func(i, j int) bool { return current[i].Start < current[j].Start })
+	}
+	return current
+}
+
+// MatchOffsets returns the Start offsets of the node-semantics result set,
+// sorted — the canonical form differential tests compare.
+func MatchOffsets(root *Node, q *jsonpath.Query) []int {
+	nodes := Eval(root, q, NodeSemantics)
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Start
+	}
+	return out
+}
+
+func applySelector(sel *jsonpath.Selector, n *Node, out []*Node) []*Node {
+	if sel.Descendant {
+		return applyDescendant(sel, n, out)
+	}
+	return applyDirect(sel, n, out)
+}
+
+// applyDirect appends .l / .* / [i] / union matches within n, in document
+// order.
+func applyDirect(sel *jsonpath.Selector, n *Node, out []*Node) []*Node {
+	if sel.Wildcard {
+		for i := range n.Members {
+			out = append(out, n.Members[i].Value)
+		}
+		return append(out, n.Elems...)
+	}
+	if len(sel.Labels) > 0 {
+		for i := range n.Members {
+			if sel.MatchesLabel(n.Members[i].Key) {
+				out = append(out, n.Members[i].Value)
+			}
+		}
+	}
+	if sel.SelectsIndices() {
+		for i := range n.Elems {
+			if sel.MatchesIndex(i) {
+				out = append(out, n.Elems[i])
+			}
+		}
+	}
+	return out
+}
+
+// applyDescendant appends ..l / ..* / ..[i] matches: the direct matches of
+// n and, recursively, of every subdocument of n, in document order
+// (pre-order traversal matches offset order).
+func applyDescendant(sel *jsonpath.Selector, n *Node, out []*Node) []*Node {
+	out = applyDirect(sel, n, out)
+	for i := range n.Members {
+		out = applyDescendant(sel, n.Members[i].Value, out)
+	}
+	for _, e := range n.Elems {
+		out = applyDescendant(sel, e, out)
+	}
+	return out
+}
+
+func dedupe(nodes []*Node) []*Node {
+	seen := make(map[*Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,326 @@
+// Package dom provides the reference implementation used as the oracle for
+// every streaming engine in this repository: a strict JSON parser producing
+// a document tree with byte offsets, and a recursive JSONPath evaluator
+// supporting both node semantics and path semantics (§2, Appendix D).
+//
+// It is deliberately simple and obviously correct rather than fast; all
+// differential tests compare the streaming engines' match offsets against
+// Eval's.
+package dom
+
+import (
+	"fmt"
+)
+
+// Kind classifies a JSON value.
+type Kind int
+
+const (
+	// KindObject is a {...} value.
+	KindObject Kind = iota
+	// KindArray is a [...] value.
+	KindArray
+	// KindString is a "..." value.
+	KindString
+	// KindNumber is a numeric value.
+	KindNumber
+	// KindBool is true or false.
+	KindBool
+	// KindNull is null.
+	KindNull
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindObject:
+		return "object"
+	case KindArray:
+		return "array"
+	case KindString:
+		return "string"
+	case KindNumber:
+		return "number"
+	case KindBool:
+		return "bool"
+	default:
+		return "null"
+	}
+}
+
+// Node is one JSON value. Start is the offset of its first byte, End the
+// offset just past its last byte.
+type Node struct {
+	Kind    Kind
+	Start   int
+	End     int
+	Members []Member // objects, in document order (duplicate keys kept)
+	Elems   []*Node  // arrays
+}
+
+// Member is an object property. Key holds the raw bytes between the key's
+// quotes — escape sequences are not decoded, matching the byte-verbatim
+// label comparison performed by the streaming engines.
+type Member struct {
+	Key      []byte
+	KeyStart int // offset of the opening quote of the key
+	Value    *Node
+}
+
+// SyntaxError reports invalid JSON with a byte offset.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("dom: %s at offset %d", e.Msg, e.Offset)
+}
+
+type parser struct {
+	data []byte
+	pos  int
+}
+
+// Parse parses a complete JSON document, requiring that nothing but
+// whitespace follows the value.
+func Parse(data []byte) (*Node, error) {
+	p := &parser{data: data}
+	p.ws()
+	n, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.data) {
+		return nil, p.errf("trailing content")
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(data []byte) *Node {
+	n, err := Parse(data)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) value() (*Node, error) {
+	if p.pos >= len(p.data) {
+		return nil, p.errf("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		return p.object()
+	case c == '[':
+		return p.array()
+	case c == '"':
+		return p.string_()
+	case c == 't':
+		return p.literal("true", KindBool)
+	case c == 'f':
+		return p.literal("false", KindBool)
+	case c == 'n':
+		return p.literal("null", KindNull)
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	default:
+		return nil, p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *parser) object() (*Node, error) {
+	n := &Node{Kind: KindObject, Start: p.pos}
+	p.pos++ // '{'
+	p.ws()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		n.End = p.pos
+		return n, nil
+	}
+	for {
+		p.ws()
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			return nil, p.errf("expected object key")
+		}
+		keyStart := p.pos
+		key, err := p.rawString()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return nil, p.errf("expected ':' after object key")
+		}
+		p.pos++
+		p.ws()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		n.Members = append(n.Members, Member{Key: key, KeyStart: keyStart, Value: v})
+		p.ws()
+		if p.pos >= len(p.data) {
+			return nil, p.errf("unterminated object")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			n.End = p.pos
+			return n, nil
+		default:
+			return nil, p.errf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *parser) array() (*Node, error) {
+	n := &Node{Kind: KindArray, Start: p.pos}
+	p.pos++ // '['
+	p.ws()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+		n.End = p.pos
+		return n, nil
+	}
+	for {
+		p.ws()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		n.Elems = append(n.Elems, v)
+		p.ws()
+		if p.pos >= len(p.data) {
+			return nil, p.errf("unterminated array")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			n.End = p.pos
+			return n, nil
+		default:
+			return nil, p.errf("expected ',' or ']' in array")
+		}
+	}
+}
+
+func (p *parser) string_() (*Node, error) {
+	n := &Node{Kind: KindString, Start: p.pos}
+	if _, err := p.rawString(); err != nil {
+		return nil, err
+	}
+	n.End = p.pos
+	return n, nil
+}
+
+// rawString consumes a string literal and returns the raw bytes between the
+// quotes (escapes validated but not decoded).
+func (p *parser) rawString() ([]byte, error) {
+	p.pos++ // opening quote
+	start := p.pos
+	for p.pos < len(p.data) {
+		switch c := p.data[p.pos]; {
+		case c == '"':
+			raw := p.data[start:p.pos]
+			p.pos++
+			return raw, nil
+		case c == '\\':
+			if p.pos+1 >= len(p.data) {
+				return nil, p.errf("unterminated escape")
+			}
+			switch e := p.data[p.pos+1]; e {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				p.pos += 2
+			case 'u':
+				if p.pos+5 >= len(p.data) {
+					return nil, p.errf("truncated \\u escape")
+				}
+				for i := 2; i < 6; i++ {
+					if !isHex(p.data[p.pos+i]) {
+						return nil, p.errf("invalid \\u escape")
+					}
+				}
+				p.pos += 6
+			default:
+				return nil, p.errf("invalid escape %q", e)
+			}
+		case c < 0x20:
+			return nil, p.errf("control character in string")
+		default:
+			p.pos++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+func isHex(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+func (p *parser) literal(lit string, kind Kind) (*Node, error) {
+	if p.pos+len(lit) > len(p.data) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return nil, p.errf("invalid literal")
+	}
+	n := &Node{Kind: kind, Start: p.pos, End: p.pos + len(lit)}
+	p.pos += len(lit)
+	return n, nil
+}
+
+func (p *parser) number() (*Node, error) {
+	n := &Node{Kind: KindNumber, Start: p.pos}
+	if p.data[p.pos] == '-' {
+		p.pos++
+	}
+	digits := func() int {
+		c := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			c++
+		}
+		return c
+	}
+	if p.pos < len(p.data) && p.data[p.pos] == '0' {
+		p.pos++
+	} else if digits() == 0 {
+		return nil, p.errf("invalid number")
+	}
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		p.pos++
+		if digits() == 0 {
+			return nil, p.errf("digits required after decimal point")
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		if digits() == 0 {
+			return nil, p.errf("digits required in exponent")
+		}
+	}
+	n.End = p.pos
+	return n, nil
+}

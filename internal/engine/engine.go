@@ -1,0 +1,609 @@
+// Package engine implements the paper's main query-execution algorithm
+// (§3.2–§3.4): simulation of the compiled query automaton over the streamed
+// document using a sparse depth-stack, fed by the SWAR classification
+// pipeline, with all four skipping techniques:
+//
+//   - skipping leaves     — commas/colons toggled off in internal states;
+//   - skipping children   — fast-forward over subtrees entered through
+//     transitions into the rejecting state;
+//   - skipping siblings   — fast-forward to the enclosing closer once a
+//     unitary state's single label has been matched;
+//   - skipping to a label — the head-skip outer loop for queries whose
+//     initial state is waiting (queries that begin with a descendant).
+//
+// Documented deviations from the paper's pseudocode are listed in DESIGN.md:
+// an explicit element-kind bitstack drives comma/colon toggling, sibling
+// skips fire only when the unitary label actually matched, and the first
+// token of a (sub)document is entered without a transition.
+//
+// The engine scans rather than validates: on well-formed JSON its output
+// equals the DOM oracle's; on malformed input it reports ErrMalformed when
+// the structure cannot be balanced but otherwise makes no promises.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"rsonpath/internal/automaton"
+	"rsonpath/internal/classifier"
+	"rsonpath/internal/depthstack"
+	"rsonpath/internal/jsonpath"
+)
+
+// ErrMalformed is returned when the input cannot be a well-formed JSON
+// document (premature end of input, unbalanced brackets, missing labels).
+var ErrMalformed = errors.New("engine: malformed JSON input")
+
+// Options toggles the engine's optimizations, primarily for the ablation
+// study (DESIGN.md experiment index). The zero value is the paper's
+// configuration with everything enabled.
+type Options struct {
+	// DisableHeadSkip turns off memmem-style skipping to the first label
+	// of queries beginning with a descendant selector (§3.4).
+	DisableHeadSkip bool
+	// DisableSkipChildren turns off fast-forwarding over rejected subtrees.
+	DisableSkipChildren bool
+	// DisableSkipSiblings turns off fast-forwarding after unitary matches.
+	DisableSkipSiblings bool
+	// DisableSkipLeaves keeps commas and colons enabled at all times
+	// instead of toggling them by state.
+	DisableSkipLeaves bool
+	// EnableTailSkip turns on the §4.5 future-work classifier: in waiting
+	// states (non-initial descendant segments ..l), the engine fast-forwards
+	// to the next occurrence of l within the current element instead of
+	// stepping through events. Off by default to keep the paper's exact
+	// configuration; ignored for queries with index selectors.
+	EnableTailSkip bool
+}
+
+// Engine executes one compiled query over any number of documents. It is
+// safe for concurrent use: each Run gets its own state.
+type Engine struct {
+	dfa         *automaton.DFA
+	opts        Options
+	needsIndex  bool
+	tailSkip    bool
+	headLabel   []byte // non-nil when head-skip applies
+	headPattern []byte // the label in its quoted spelling, for the seeker
+}
+
+// New builds an engine for a compiled automaton.
+func New(dfa *automaton.DFA, opts Options) *Engine {
+	e := &Engine{dfa: dfa, opts: opts}
+	for s := range dfa.States {
+		if dfa.States[s].NeedsIndexInArray {
+			e.needsIndex = true
+		}
+	}
+	e.tailSkip = opts.EnableTailSkip && !e.needsIndex
+	init := &dfa.States[dfa.Initial]
+	if init.Waiting && !opts.DisableHeadSkip {
+		e.headLabel = init.Labels[0].Label
+		e.headPattern = append(e.headPattern, '"')
+		e.headPattern = append(e.headPattern, e.headLabel...)
+		e.headPattern = append(e.headPattern, '"')
+	}
+	return e
+}
+
+// CompileQuery parses and compiles a query and wraps it in an engine.
+func CompileQuery(query string, opts Options) (*Engine, error) {
+	q, err := jsonpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	dfa, err := automaton.Compile(q, automaton.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return New(dfa, opts), nil
+}
+
+// Automaton returns the engine's compiled automaton.
+func (e *Engine) Automaton() *automaton.DFA { return e.dfa }
+
+// Count runs the query and returns the number of matches.
+func (e *Engine) Count(data []byte) (int, error) {
+	n := 0
+	err := e.Run(data, func(int) { n++ })
+	return n, err
+}
+
+// Matches runs the query and returns the byte offset of the first character
+// of every matched value, in document order.
+func (e *Engine) Matches(data []byte) ([]int, error) {
+	var out []int
+	err := e.Run(data, func(pos int) { out = append(out, pos) })
+	return out, err
+}
+
+// Run streams the document once, invoking emit with the byte offset of each
+// matched value's first character, in document order.
+func (e *Engine) Run(data []byte, emit func(pos int)) error {
+	r := &run{
+		e:      e,
+		dfa:    e.dfa,
+		data:   data,
+		stream: classifier.NewStream(data),
+		emit:   emit,
+	}
+	r.iter = classifier.NewStructural(r.stream, 0)
+	return r.document()
+}
+
+// run is the per-document execution state.
+type run struct {
+	e      *Engine
+	dfa    *automaton.DFA
+	data   []byte
+	stream *classifier.Stream
+	iter   *classifier.Structural
+	emit   func(int)
+
+	stack   depthstack.Stack    // (state, depth) frames — the depth-stack
+	kinds   depthstack.KindMap  // element kind per depth: true = object
+	indices depthstack.IntStack // entry index per open array (index queries)
+
+	tailEnd int // subtree end position recorded by tailStep
+}
+
+func (r *run) errMalformed(pos int, why string) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, why, pos)
+}
+
+// document dispatches on the root value and the head-skip eligibility.
+func (r *run) document() error {
+	rootPos := firstNonWS(r.data, 0)
+	if rootPos == len(r.data) {
+		return r.errMalformed(0, "empty input")
+	}
+	init := r.dfa.Initial
+	if r.dfa.States[init].Accepting {
+		r.emit(rootPos)
+	}
+	if r.e.headLabel != nil {
+		return r.headSkipLoop()
+	}
+	c := r.data[rootPos]
+	if c != '{' && c != '[' {
+		return nil // atomic root: nothing below it
+	}
+	r.iter.Reset(rootPos + 1)
+	_, err := r.subtree(init, rootPos, c)
+	return err
+}
+
+// headSkipLoop implements skipping to a label (§3.4): find each occurrence
+// of the head label with the SWAR seeker, take the transition, and run the
+// ordinary algorithm inside the associated value.
+func (r *run) headSkipLoop() error {
+	label := r.e.headLabel
+	target := r.dfa.Transition(r.dfa.Initial, label)
+	accepting := r.dfa.States[target].Accepting
+	from := 0
+	for {
+		_, valueAt, ok := classifier.SeekLabelPattern(r.stream, from, label, r.e.headPattern)
+		if !ok {
+			return nil
+		}
+		if accepting {
+			r.emit(valueAt)
+		}
+		c := r.data[valueAt]
+		if c != '{' && c != '[' {
+			// Leaf value: resume seeking after it (the seeker requires a
+			// resumption point outside any string).
+			from = leafEnd(r.data, valueAt)
+			continue
+		}
+		if r.dfa.States[target].Rejecting {
+			// Nothing can match below; skip the whole value.
+			end, ok := classifier.SkipToClose(r.stream, valueAt+1, c)
+			if !ok {
+				return r.errMalformed(valueAt, "unterminated value")
+			}
+			from = end + 1
+			continue
+		}
+		r.iter.Reset(valueAt + 1)
+		end, err := r.subtree(target, valueAt, c)
+		if err != nil {
+			return err
+		}
+		from = end + 1
+	}
+}
+
+// arrayEntryTarget returns the state reached by an array entry at index idx.
+func (r *run) arrayEntryTarget(state automaton.StateID, idx int) automaton.StateID {
+	if r.e.needsIndex {
+		return r.dfa.TransitionIndex(state, idx)
+	}
+	return r.dfa.TransitionFallback(state)
+}
+
+// toggle adjusts the comma/colon symbols to the current state and the kind
+// of the element whose interior is at the given depth (§3.4's toggle()).
+func (r *run) toggle(state automaton.StateID, depth int) {
+	st := &r.dfa.States[state]
+	isObj := r.kinds.Get(depth)
+	always := r.e.opts.DisableSkipLeaves
+	r.iter.SetColons(isObj && (st.CanAcceptInObject || always))
+	r.iter.SetCommas(!isObj && (st.CanAcceptInArray || st.NeedsIndexInArray || always))
+}
+
+// subtree runs the main algorithm (§3.4) over one composite value whose
+// opening character at openPos has already been located; state is the
+// automaton state valid inside it (the opening itself triggers no
+// transition). It returns the position of the matching closing character.
+func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos int, err error) {
+	r.stack.Reset()
+	r.kinds.Reset()
+	r.indices.Reset()
+
+	depth := 1
+	r.kinds.Set(depth, openCh == '{')
+	if openCh == '[' && r.e.needsIndex {
+		r.indices.Push(0)
+	}
+	r.toggle(state, depth)
+	if openCh == '[' {
+		r.tryMatchFirstItem(state, openPos)
+	}
+
+	for {
+		if r.e.tailSkip && r.dfa.States[state].Waiting {
+			var done bool
+			var err error
+			state, depth, done, err = r.tailStep(state, depth)
+			if err != nil {
+				return 0, err
+			}
+			if done {
+				// depth hit zero: tailStep recorded the end position.
+				return r.tailEnd, nil
+			}
+			continue
+		}
+		pos, ch, ok := r.iter.Next()
+		if !ok {
+			return 0, r.errMalformed(len(r.data), "unterminated document")
+		}
+		switch ch {
+		case '{', '[':
+			label, hasLabel, lok := labelBefore(r.data, pos)
+			if !lok {
+				return 0, r.errMalformed(pos, "cannot locate label")
+			}
+			var target automaton.StateID
+			if hasLabel {
+				target = r.dfa.Transition(state, label)
+			} else {
+				target = r.arrayEntryTarget(state, r.currentIndex())
+			}
+			if r.dfa.States[target].Rejecting && !r.e.opts.DisableSkipChildren {
+				end, ok := classifier.SkipToClose(r.stream, pos+1, ch)
+				if !ok {
+					return 0, r.errMalformed(pos, "unterminated value")
+				}
+				r.iter.Reset(end + 1)
+				continue
+			}
+			if target != state {
+				r.stack.Push(int(state), depth)
+				state = target
+			}
+			depth++
+			r.kinds.Set(depth, ch == '{')
+			if ch == '[' && r.e.needsIndex {
+				r.indices.Push(0)
+			}
+			if r.dfa.States[state].Accepting {
+				r.emit(pos)
+			}
+			r.toggle(state, depth)
+			if ch == '[' {
+				r.tryMatchFirstItem(state, pos)
+			}
+
+		case '}', ']':
+			depth--
+			if ch == ']' && r.e.needsIndex && r.indices.Len() > 0 {
+				// The guard protects against malformed input closing an
+				// array that was never opened.
+				r.indices.Pop()
+			}
+			if depth == 0 {
+				return pos, nil
+			}
+			if f, ok := r.stack.Top(); ok && f.Depth == depth {
+				// Whether the child we just closed matched its entering
+				// transition: with skipping disabled, rejected children are
+				// walked in the trash state, and closing one must not
+				// trigger the sibling skip below.
+				childMatched := !r.dfa.States[state].Rejecting
+				r.stack.Pop()
+				state = automaton.StateID(f.State)
+				if childMatched && r.dfa.States[state].Unitary && !r.e.opts.DisableSkipSiblings {
+					// The matched unitary child just closed: no further
+					// sibling can match, so fast-forward to the parent's
+					// closer and let the main loop process it. When the
+					// next event is already a closing character it must be
+					// that closer (no deeper one can precede an opening),
+					// so the fast-forward would be pure overhead.
+					if _, nch, ok := r.iter.Peek(); ok && nch != '}' && nch != ']' {
+						end, ok := classifier.SkipToClose(r.stream, pos+1, '{')
+						if !ok {
+							return 0, r.errMalformed(pos, "unterminated object")
+						}
+						r.iter.Reset(end)
+					}
+					continue
+				}
+			}
+			r.toggle(state, depth)
+
+		case ':':
+			if _, nch, ok := r.iter.Peek(); ok && (nch == '{' || nch == '[') {
+				continue // composite value: handled by its Opening event
+			}
+			label, hasLabel, lok := labelBefore(r.data, pos+1)
+			if !lok || !hasLabel {
+				return 0, r.errMalformed(pos, "colon without label")
+			}
+			target := r.dfa.Transition(state, label)
+			if r.dfa.States[target].Accepting {
+				vs := firstNonWS(r.data, pos+1)
+				if !plausibleValueStart(r.data, vs) {
+					return 0, r.errMalformed(pos, "missing value")
+				}
+				r.emit(vs)
+			}
+			if r.dfa.States[state].Unitary && !r.dfa.States[target].Rejecting &&
+				!r.e.opts.DisableSkipSiblings {
+				// The unitary label matched a leaf: skip the remaining
+				// siblings, leaving the parent's closer as the next event
+				// (unless it already is — see the Closing case).
+				if _, nch, ok := r.iter.Peek(); ok && nch != '}' && nch != ']' {
+					end, ok := classifier.SkipToClose(r.stream, pos+1, '{')
+					if !ok {
+						return 0, r.errMalformed(pos, "unterminated object")
+					}
+					r.iter.Reset(end)
+				}
+			}
+
+		case ',':
+			if r.e.needsIndex && !r.kinds.Get(depth) && r.indices.Len() > 0 {
+				r.indices.Inc()
+			}
+			if _, nch, ok := r.iter.Peek(); ok && (nch == '{' || nch == '[') {
+				continue // composite entry: handled by its Opening event
+			}
+			target := r.arrayEntryTarget(state, r.currentIndex())
+			if r.dfa.States[target].Accepting {
+				vs := firstNonWS(r.data, pos+1)
+				if !plausibleValueStart(r.data, vs) {
+					continue // trailing comma or truncation: nothing to report
+				}
+				r.emit(vs)
+			}
+		}
+	}
+}
+
+// tailStep is the §4.5 extension: from a waiting state, fast-forward to
+// the next occurrence of the state's label within the current element, or
+// to the element's boundary, whichever comes first. It mirrors the main
+// loop's Opening and Closing handling for the event it lands on. done is
+// true when the subtree's own closer was consumed (depth reached zero);
+// the end position is left in r.tailEnd.
+func (r *run) tailStep(state automaton.StateID, depth int) (newState automaton.StateID, newDepth int, done bool, err error) {
+	st := &r.dfa.States[state]
+	label := st.Labels[0].Label
+	boundary := 0
+	if f, ok := r.stack.Top(); ok {
+		boundary = f.Depth
+	}
+	ev := classifier.SeekLabelWithin(r.stream, r.iter.Position(), label, depth-boundary)
+	switch ev.Kind {
+	case classifier.TailKey:
+		target := st.Labels[0].Target
+		atDepth := depth + ev.DepthDelta
+		c := r.data[ev.ValueAt]
+		if c != '{' && c != '[' {
+			// Leaf value: report if it matches and keep seeking after it.
+			if r.dfa.States[target].Accepting {
+				r.emit(ev.ValueAt)
+			}
+			r.iter.Reset(leafEnd(r.data, ev.ValueAt))
+			return state, atDepth, false, nil
+		}
+		if r.dfa.States[target].Rejecting {
+			// Cannot happen for the supported grammar (the labelled
+			// transition of a waiting state always progresses), but stay
+			// defensive: skip the subtree.
+			end, ok := classifier.SkipToClose(r.stream, ev.ValueAt+1, c)
+			if !ok {
+				return state, depth, false, r.errMalformed(ev.ValueAt, "unterminated value")
+			}
+			r.iter.Reset(end + 1)
+			return state, atDepth, false, nil
+		}
+		// Mirror the Opening case: enter the value.
+		r.stack.Push(int(state), atDepth)
+		atDepth++
+		r.kinds.Set(atDepth, c == '{')
+		if r.dfa.States[target].Accepting {
+			r.emit(ev.ValueAt)
+		}
+		r.iter.Reset(ev.ValueAt + 1)
+		r.toggle(target, atDepth)
+		if c == '[' {
+			r.tryMatchFirstItem(target, ev.ValueAt)
+		}
+		return target, atDepth, false, nil
+
+	case classifier.TailClose:
+		// Mirror the Closing case for the boundary closer.
+		r.iter.Reset(ev.Pos + 1)
+		if boundary == 0 && r.stack.Len() == 0 {
+			r.tailEnd = ev.Pos
+			return state, 0, true, nil
+		}
+		f := r.stack.Pop()
+		restored := automaton.StateID(f.State)
+		// The closing element matched its entering transition (we were in
+		// a live waiting state), so the sibling skip applies when the
+		// restored state is unitary.
+		if r.dfa.States[restored].Unitary && !r.e.opts.DisableSkipSiblings {
+			if _, nch, ok := r.iter.Peek(); ok && nch != '}' && nch != ']' {
+				end, ok := classifier.SkipToClose(r.stream, ev.Pos+1, '{')
+				if !ok {
+					return state, depth, false, r.errMalformed(ev.Pos, "unterminated object")
+				}
+				r.iter.Reset(end)
+			}
+			return restored, boundary, false, nil
+		}
+		r.toggle(restored, boundary)
+		return restored, boundary, false, nil
+
+	default:
+		return state, depth, false, r.errMalformed(len(r.data), "unterminated document")
+	}
+}
+
+// currentIndex returns the entry index of the array being scanned (0 when
+// index tracking is off).
+func (r *run) currentIndex() int {
+	if !r.e.needsIndex || r.indices.Len() == 0 {
+		return 0
+	}
+	return r.indices.Top()
+}
+
+// tryMatchFirstItem handles the corner case of §3.4: the first entry of an
+// array is preceded by neither comma nor colon, so a leaf first entry must
+// be matched when the array's entry transition accepts.
+func (r *run) tryMatchFirstItem(state automaton.StateID, openPos int) {
+	target := r.arrayEntryTarget(state, 0)
+	if !r.dfa.States[target].Accepting {
+		return
+	}
+	if _, nch, ok := r.iter.Peek(); !ok || nch == '{' || nch == '[' {
+		return // composite first entry (or malformed): Opening handles it
+	}
+	vs := firstNonWS(r.data, openPos+1)
+	if !plausibleValueStart(r.data, vs) {
+		return // empty array or malformed input
+	}
+	r.emit(vs)
+}
+
+// plausibleValueStart reports whether data[i] can begin a JSON value; it
+// guards emissions against truncated input and trailing commas.
+func plausibleValueStart(data []byte, i int) bool {
+	if i >= len(data) {
+		return false
+	}
+	switch data[i] {
+	case ',', ':', ']', '}':
+		return false
+	}
+	return true
+}
+
+// firstNonWS returns the first index at or after i with a non-whitespace
+// byte, or len(data).
+func firstNonWS(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// labelBefore backtracks from the position of an opening character (or of
+// the byte just past a label's colon) to the label it belongs to (§3.4's
+// get_label()). It returns hasLabel=false for array entries (artificial
+// label) and ok=false when the document is malformed. The returned slice
+// aliases data and holds the raw key bytes, escapes included.
+func labelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
+	i := pos - 1
+	for i >= 0 && isWS(data[i]) {
+		i--
+	}
+	if i < 0 {
+		return nil, false, true // document root
+	}
+	switch data[i] {
+	case ',', '[':
+		return nil, false, true // array entry
+	case ':':
+		i--
+	default:
+		return nil, false, false
+	}
+	for i >= 0 && isWS(data[i]) {
+		i--
+	}
+	if i < 0 || data[i] != '"' {
+		return nil, false, false
+	}
+	closing := i
+	// Find the key's opening quote, skipping quotes that are escaped.
+	for {
+		i--
+		for i >= 0 && data[i] != '"' {
+			i--
+		}
+		if i < 0 {
+			return nil, false, false
+		}
+		// Count the backslashes immediately before the candidate quote.
+		bs := 0
+		for j := i - 1; j >= 0 && data[j] == '\\'; j-- {
+			bs++
+		}
+		if bs%2 == 0 {
+			return data[i+1 : closing], true, true
+		}
+	}
+}
+
+func isWS(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// leafEnd returns the offset just past the atomic value starting at pos.
+func leafEnd(data []byte, pos int) int {
+	if data[pos] == '"' {
+		i := pos + 1
+		for i < len(data) {
+			switch data[i] {
+			case '"':
+				return i + 1
+			case '\\':
+				i += 2
+			default:
+				i++
+			}
+		}
+		return i
+	}
+	i := pos
+	for i < len(data) {
+		switch data[i] {
+		case ',', '}', ']', ' ', '\t', '\n', '\r':
+			return i
+		}
+		i++
+	}
+	return i
+}

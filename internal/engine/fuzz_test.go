@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"rsonpath/internal/dom"
+	"rsonpath/internal/jsonpath"
+)
+
+// FuzzEngineAgainstOracle feeds arbitrary bytes to the engine. When the
+// input is valid JSON, the engine must agree with the DOM oracle exactly;
+// when it is not, the engine must return cleanly (error or not) without
+// panicking. The seed corpus is replayed as ordinary unit tests; run
+// `go test -fuzz FuzzEngineAgainstOracle ./internal/engine` to explore.
+func FuzzEngineAgainstOracle(f *testing.F) {
+	seeds := []string{
+		`{"a": 1}`,
+		`{"a": {"b": [1, {"a": 2}]}, "b": "x\"y"}`,
+		`[[], {}, [{"a": []}]]`,
+		`{"a": "{\"a\": 1}"}`,
+		`{"k\"ey": {"a": 1}}`,
+		`{`,
+		`{"a":`,
+		`]`,
+		`tru`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	queries := []string{"$..a", "$.a.b", "$.a.*", "$..a..b", "$[0]", "$.*"}
+	type variant struct {
+		e     *Engine
+		query string
+	}
+	var variants []variant
+	for _, q := range queries {
+		for _, opts := range []Options{{}, {EnableTailSkip: true}} {
+			e, err := CompileQuery(q, opts)
+			if err != nil {
+				f.Fatal(err)
+			}
+			variants = append(variants, variant{e, q})
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root, parseErr := dom.Parse(data)
+		for _, v := range variants {
+			got, err := v.e.Matches(data)
+			if parseErr != nil {
+				continue // malformed: any clean result is acceptable
+			}
+			if err != nil {
+				t.Fatalf("%s on valid %q: %v", v.query, data, err)
+			}
+			want := dom.MatchOffsets(root, jsonpath.MustParse(v.query))
+			if !equalInts(got, want) {
+				t.Fatalf("%s on %q:\n  engine: %v\n  oracle: %v", v.query, data, got, want)
+			}
+		}
+	})
+}
+
+// FuzzQueryParser feeds arbitrary strings to the query parser: it must
+// never panic, and anything it accepts must render canonically and
+// re-parse to the same canonical form.
+func FuzzQueryParser(f *testing.F) {
+	for _, s := range []string{
+		"$", "$.a", "$..a.b", "$.*", "$['a b']", "$[0,2]", "$..['x','y']",
+		"$.", "$[", "$['", "a", "$...a", "$['a\\'b']",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := jsonpath.Parse(s)
+		if err != nil {
+			return
+		}
+		canonical := q.String()
+		q2, err := jsonpath.Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canonical, s, err)
+		}
+		if q2.String() != canonical {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canonical, q2.String())
+		}
+	})
+}

@@ -1,0 +1,9 @@
+package engine
+
+import "rsonpath/internal/jsongen"
+
+// jsongenGenerate produces a small benchmark-shaped document for
+// integration tests.
+func jsongenGenerate(name string) ([]byte, error) {
+	return jsongen.Generate(name, 192*1024, 5)
+}

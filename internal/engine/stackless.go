@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"errors"
+
+	"rsonpath/internal/classifier"
+	"rsonpath/internal/jsonpath"
+)
+
+// This file implements the depth-register automata of §3.2 (after Barloy,
+// Murlak & Paperman, "Stackless processing of streamed trees", PODS'21):
+// the stackless algorithm for descendant-only queries $..l1..l2…..ln that
+// uses depth registers instead of any stack. The paper generalizes this
+// model into the depth-stack automaton; keeping the restricted model
+// executable makes the generalization concrete and benchmarkable — for
+// child-free queries the depth-stack degenerates to exactly these
+// registers (§3.2: "the at most n frames on the stack correspond directly
+// to the n registers from the stackless algorithm").
+//
+// States are 1..n+1 and register i holds the depth at which selector i
+// matched. Transitions, per the paper:
+//
+//   - when the current depth falls to register i-1's value, move to state
+//     i-1 (not applicable in state 1);
+//   - when label l_i is found, set register i to the current depth and move
+//     to state i+1 (reporting when i = n).
+//
+// One amendment, required by node semantics and confirmed against the DFA
+// engine by differential tests: in state n+1, further occurrences of l_n
+// are reported too (they are nested matches), and falling back from state
+// n+1 reads register n — so the implementation keeps n registers rather
+// than the n-1 the paper's prose mentions.
+
+// ErrNotStackless is returned for queries outside the depth-register
+// fragment (anything but a chain of descendant label selectors).
+var ErrNotStackless = errors.New("engine: query is not a descendant-only label chain")
+
+// Stackless executes descendant-only label-chain queries with depth
+// registers and no stack. Safe for concurrent use.
+type Stackless struct {
+	labels [][]byte
+}
+
+// NewStackless compiles q, rejecting queries outside the fragment.
+func NewStackless(q *jsonpath.Query) (*Stackless, error) {
+	e := &Stackless{}
+	for i := range q.Selectors {
+		sel := &q.Selectors[i]
+		if !sel.Descendant || sel.Wildcard || len(sel.Labels) != 1 || sel.SelectsIndices() {
+			return nil, ErrNotStackless
+		}
+		e.labels = append(e.labels, sel.Labels[0])
+	}
+	if len(e.labels) == 0 {
+		return nil, ErrNotStackless
+	}
+	return e, nil
+}
+
+// Count runs the query and returns the number of matches.
+func (e *Stackless) Count(data []byte) (int, error) {
+	n := 0
+	err := e.Run(data, func(int) { n++ })
+	return n, err
+}
+
+// Matches runs the query and returns match offsets in document order.
+func (e *Stackless) Matches(data []byte) ([]int, error) {
+	var out []int
+	err := e.Run(data, func(pos int) { out = append(out, pos) })
+	return out, err
+}
+
+// Run streams the document once, reporting each match's value offset.
+func (e *Stackless) Run(data []byte, emit func(pos int)) error {
+	rootPos := firstNonWS(data, 0)
+	if rootPos == len(data) {
+		return errMalformedAt(data, 0, "empty input")
+	}
+	if c := data[rootPos]; c != '{' && c != '[' {
+		return nil // atomic root: no descendants
+	}
+
+	n := len(e.labels)
+	regs := make([]int, n+1) // regs[i]: depth at which selector i matched
+	state := 1
+	depth := 1
+
+	stream := classifier.NewStream(data)
+	iter := classifier.NewStructural(stream, rootPos+1)
+	// Leaves can only match the final selector; commas never matter
+	// (array entries carry no labels).
+	iter.SetColons(state >= n)
+
+	for {
+		pos, ch, ok := iter.Next()
+		if !ok {
+			return errMalformedAt(data, len(data), "unterminated document")
+		}
+		switch ch {
+		case '{', '[':
+			label, hasLabel, lok := labelBefore(data, pos)
+			if !lok {
+				return errMalformedAt(data, pos, "cannot locate label")
+			}
+			if hasLabel {
+				switch {
+				case state <= n && bytesEq(label, e.labels[state-1]):
+					if state == n {
+						emit(pos)
+					}
+					regs[state] = depth
+					state++
+					iter.SetColons(state >= n)
+				case state == n+1 && bytesEq(label, e.labels[n-1]):
+					emit(pos) // nested match below a full match
+				}
+			}
+			depth++
+		case '}', ']':
+			depth--
+			if depth == 0 {
+				return nil
+			}
+			if state > 1 && regs[state-1] == depth {
+				state--
+				iter.SetColons(state >= n)
+			}
+		case ':':
+			if _, nch, ok := iter.Peek(); ok && (nch == '{' || nch == '[') {
+				continue // composite value: handled at its opening
+			}
+			label, hasLabel, lok := labelBefore(data, pos+1)
+			if !lok || !hasLabel {
+				return errMalformedAt(data, pos, "colon without label")
+			}
+			// Only enabled when state >= n: a leaf can complete the query
+			// but cannot host deeper matches.
+			if bytesEq(label, e.labels[n-1]) {
+				vs := firstNonWS(data, pos+1)
+				if !plausibleValueStart(data, vs) {
+					return errMalformedAt(data, pos, "missing value")
+				}
+				emit(vs)
+			}
+		}
+	}
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func errMalformedAt(data []byte, pos int, why string) error {
+	r := &run{data: data}
+	return r.errMalformed(pos, why)
+}

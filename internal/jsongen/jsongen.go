@@ -1,0 +1,226 @@
+// Package jsongen generates the synthetic benchmark datasets substituting
+// for the paper's corpora (§5.3, Table 3). Each profile reproduces the
+// structural shape that drives engine performance — nesting depth,
+// verbosity (bytes per tree node), key vocabulary, and the selectivity of
+// the benchmark queries — at a configurable scale (default ~1/64 of the
+// originals; see DESIGN.md). Generation is deterministic in (size, seed).
+package jsongen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rsonpath/internal/dom"
+)
+
+// Profile describes one generatable dataset.
+type Profile struct {
+	// Name is the dataset's short name, matching the paper's Table 3.
+	Name string
+	// PaperName is the dataset identifier used in the paper's appendix.
+	PaperName string
+	// DefaultSize is the default target size in bytes (scaled from the
+	// paper's Table 3 by ~1/64).
+	DefaultSize int
+	// PaperDepth and PaperVerbosity are Table 3's reference values.
+	PaperDepth     int
+	PaperVerbosity float64
+	// Generate produces approximately target bytes of JSON.
+	Generate func(target int, seed int64) []byte
+}
+
+const mb = 1 << 20
+
+var profiles = []Profile{
+	{"ast", "ast", 400 * 1024, 102, 14.3, genAST},
+	{"bestbuy", "bestbuy_large_record", 16 * mb, 8, 24.5, genBestBuy},
+	{"crossref", "crossref2", 9 * mb, 9, 27.0, genCrossref},
+	{"googlemap", "google_map_large_record", 17 * mb, 10, 36.9, genGoogleMap},
+	{"nspl", "nspl_large_record", 19 * mb, 10, 13.8, genNSPL},
+	{"openfood", "openfood", 10 * mb, 8, 30.0, genOpenFood},
+	{"twitter", "twitter_large_record", 13 * mb, 12, 29.0, genTwitter},
+	{"twitter_small", "twitter", 700 * 1024, 11, 50.6, genTwitterSmall},
+	{"walmart", "walmart_large_record", 15 * mb, 5, 96.9, genWalmart},
+	{"wikimedia", "wiki_large_record", 17 * mb, 13, 18.7, genWikimedia},
+}
+
+// Profiles lists all datasets in name order.
+func Profiles() []Profile {
+	out := append([]Profile(nil), profiles...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName finds a profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Generate produces the named dataset at the given size (0 means the
+// profile default) with the given seed.
+func Generate(name string, target int, seed int64) ([]byte, error) {
+	p, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("jsongen: unknown dataset %q", name)
+	}
+	if target <= 0 {
+		target = p.DefaultSize
+	}
+	return p.Generate(target, seed), nil
+}
+
+// Stats describes a generated document in Table 3's terms.
+type Stats struct {
+	SizeBytes int
+	Depth     int
+	Nodes     int
+	Verbosity float64 // bytes per tree node
+}
+
+// Measure computes Table 3 statistics for a document.
+func Measure(data []byte) (Stats, error) {
+	root, err := dom.Parse(data)
+	if err != nil {
+		return Stats{}, err
+	}
+	depth, nodes := walkStats(root, 1)
+	return Stats{
+		SizeBytes: len(data),
+		Depth:     depth,
+		Nodes:     nodes,
+		Verbosity: float64(len(data)) / float64(nodes),
+	}, nil
+}
+
+func walkStats(n *dom.Node, depth int) (maxDepth, nodes int) {
+	maxDepth, nodes = depth, 1
+	for i := range n.Members {
+		d, c := walkStats(n.Members[i].Value, depth+1)
+		if d > maxDepth {
+			maxDepth = d
+		}
+		nodes += c
+	}
+	for _, e := range n.Elems {
+		d, c := walkStats(e, depth+1)
+		if d > maxDepth {
+			maxDepth = d
+		}
+		nodes += c
+	}
+	return maxDepth, nodes
+}
+
+// ---------------------------------------------------------------------------
+// Generation helpers
+// ---------------------------------------------------------------------------
+
+type gen struct {
+	buf  bytes.Buffer
+	r    *rand.Rand
+	sep  []bool // per open container: needs a separator before next item
+	word []string
+}
+
+func newGen(seed int64) *gen {
+	return &gen{
+		r: rand.New(rand.NewSource(seed)),
+		word: []string{
+			"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+			"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+			"oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+		},
+	}
+}
+
+func (g *gen) len() int { return g.buf.Len() }
+
+func (g *gen) sepIf() {
+	if n := len(g.sep); n > 0 {
+		if g.sep[n-1] {
+			g.buf.WriteByte(',')
+		}
+		g.sep[n-1] = true
+	}
+}
+
+func (g *gen) open(c byte) {
+	g.sepIf()
+	g.buf.WriteByte(c)
+	g.sep = append(g.sep, false)
+}
+
+func (g *gen) close(c byte) {
+	g.buf.WriteByte(c)
+	g.sep = g.sep[:len(g.sep)-1]
+}
+
+func (g *gen) obj(f func()) { g.open('{'); f(); g.close('}') }
+func (g *gen) arr(f func()) { g.open('['); f(); g.close(']') }
+
+func (g *gen) key(k string) {
+	g.sepIf()
+	fmt.Fprintf(&g.buf, "%q:", k)
+	g.sep[len(g.sep)-1] = false // the value follows without a comma
+}
+
+func (g *gen) str(s string) {
+	g.sepIf()
+	fmt.Fprintf(&g.buf, "%q", s)
+}
+
+func (g *gen) num(n int) {
+	g.sepIf()
+	fmt.Fprintf(&g.buf, "%d", n)
+}
+
+func (g *gen) float(f float64) {
+	g.sepIf()
+	fmt.Fprintf(&g.buf, "%.2f", f)
+}
+
+func (g *gen) boolean(b bool) {
+	g.sepIf()
+	if b {
+		g.buf.WriteString("true")
+	} else {
+		g.buf.WriteString("false")
+	}
+}
+
+func (g *gen) null() {
+	g.sepIf()
+	g.buf.WriteString("null")
+}
+
+func (g *gen) field(k string, v func()) { g.key(k); v() }
+
+func (g *gen) fieldStr(k, v string) { g.key(k); g.str(v) }
+func (g *gen) fieldNum(k string, v int) {
+	g.key(k)
+	g.num(v)
+}
+
+// words returns n random words joined by spaces.
+func (g *gen) words(n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.word[g.r.Intn(len(g.word))])
+	}
+	return b.String()
+}
+
+// ident returns a short random identifier.
+func (g *gen) ident() string {
+	return fmt.Sprintf("%s%d", g.word[g.r.Intn(len(g.word))], g.r.Intn(10000))
+}

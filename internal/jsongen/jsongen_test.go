@@ -1,0 +1,234 @@
+package jsongen
+
+import (
+	"testing"
+
+	"rsonpath/internal/dom"
+	"rsonpath/internal/jsonpath"
+)
+
+// smallTarget keeps unit tests fast; generators overshoot a little.
+const smallTarget = 64 * 1024
+
+func generate(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := Generate(name, smallTarget, 1)
+	if err != nil {
+		t.Fatalf("Generate(%q): %v", name, err)
+	}
+	return data
+}
+
+func TestAllProfilesProduceValidJSON(t *testing.T) {
+	for _, p := range Profiles() {
+		data := generate(t, p.Name)
+		if _, err := dom.Parse(data); err != nil {
+			t.Errorf("%s: invalid JSON: %v", p.Name, err)
+		}
+		if len(data) < smallTarget {
+			t.Errorf("%s: produced %d bytes, want >= %d", p.Name, len(data), smallTarget)
+		}
+		if len(data) > 4*smallTarget {
+			t.Errorf("%s: overshoot to %d bytes", p.Name, len(data))
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	for _, p := range Profiles() {
+		a, _ := Generate(p.Name, smallTarget, 7)
+		b, _ := Generate(p.Name, smallTarget, 7)
+		if string(a) != string(b) {
+			t.Errorf("%s: generation not deterministic", p.Name)
+		}
+		c, _ := Generate(p.Name, smallTarget, 8)
+		if string(a) == string(c) {
+			t.Errorf("%s: seed has no effect", p.Name)
+		}
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if _, err := Generate("nope", 0, 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName found nonexistent profile")
+	}
+}
+
+func TestDefaultSizeUsed(t *testing.T) {
+	// ast has the smallest default; generating with target 0 must use it.
+	data, err := Generate("ast", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := ByName("ast")
+	if len(data) < p.DefaultSize {
+		t.Fatalf("default-size generation too small: %d < %d", len(data), p.DefaultSize)
+	}
+}
+
+// queryCounts asserts that the benchmark queries find matches with the
+// expected selectivity character on each dataset.
+func queryCount(t *testing.T, data []byte, query string) int {
+	t.Helper()
+	root, err := dom.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(dom.MatchOffsets(root, jsonpath.MustParse(query)))
+}
+
+func TestBestBuyQueriesMatch(t *testing.T) {
+	data, _ := Generate("bestbuy", 512*1024, 1)
+	ids := queryCount(t, data, "$.products.*.categoryPath.*.id")
+	if ids == 0 {
+		t.Error("B1 finds nothing")
+	}
+	chapters := queryCount(t, data, "$.products.*.videoChapters.*.chapter")
+	if chapters == 0 {
+		t.Error("B2 finds nothing (videoChapters too rare for this size)")
+	}
+	vc := queryCount(t, data, "$.products.*.videoChapters")
+	if vc == 0 || vc > chapters {
+		t.Errorf("B3=%d vs B2=%d: want 0 < B3 < B2", vc, chapters)
+	}
+	if r := queryCount(t, data, "$..categoryPath..id"); r != ids {
+		t.Errorf("B1 rewriting disagrees: %d vs %d", r, ids)
+	}
+}
+
+func TestGoogleMapQueriesMatch(t *testing.T) {
+	data, _ := Generate("googlemap", 1<<20, 1)
+	if queryCount(t, data, "$.*.routes.*.legs.*.steps.*.distance.text") == 0 {
+		t.Error("G1 finds nothing")
+	}
+	if queryCount(t, data, "$..available_travel_modes") == 0 {
+		t.Error("G2 finds nothing")
+	}
+}
+
+func TestNSPLQueriesMatch(t *testing.T) {
+	data, _ := Generate("nspl", 256*1024, 1)
+	if queryCount(t, data, "$.meta.view.columns.*.name") != 44 {
+		t.Error("N1 should find exactly 44 columns")
+	}
+	if queryCount(t, data, "$.data.*.*.*") == 0 {
+		t.Error("N2 finds nothing")
+	}
+}
+
+func TestTwitterQueriesMatch(t *testing.T) {
+	data, _ := Generate("twitter", 256*1024, 1)
+	if queryCount(t, data, "$.*.text") == 0 {
+		t.Error("T2 finds nothing")
+	}
+	if queryCount(t, data, "$.*.entities.urls.*.url") == 0 {
+		t.Error("T1 finds nothing")
+	}
+}
+
+func TestTwitterSmallQueriesMatch(t *testing.T) {
+	data, _ := Generate("twitter_small", 128*1024, 1)
+	if queryCount(t, data, "$.search_metadata.count") != 1 {
+		t.Error("Ts should find exactly one count")
+	}
+	if queryCount(t, data, "$..count") != 1 {
+		t.Error("Ts3: count must occur exactly once in the document")
+	}
+	if queryCount(t, data, "$..hashtags..text") == 0 {
+		t.Error("Ts4 finds nothing")
+	}
+	if queryCount(t, data, "$..retweeted_status..hashtags..text") == 0 {
+		t.Error("Ts5 finds nothing")
+	}
+}
+
+func TestWalmartQueriesMatch(t *testing.T) {
+	data, _ := Generate("walmart", 512*1024, 1)
+	names := queryCount(t, data, "$.items.*.name")
+	prices := queryCount(t, data, "$.items.*.bestMarketplacePrice.price")
+	if names == 0 || prices == 0 || prices >= names {
+		t.Errorf("W2=%d W1=%d: want 0 < W1 < W2", names, prices)
+	}
+}
+
+func TestWikimediaQueriesMatch(t *testing.T) {
+	data, _ := Generate("wikimedia", 512*1024, 1)
+	if queryCount(t, data, "$.*.claims.P150.*.mainsnak.property") == 0 {
+		t.Error("Wi finds nothing")
+	}
+}
+
+func TestCrossrefQueriesMatch(t *testing.T) {
+	data, _ := Generate("crossref", 1<<20, 1)
+	dois := queryCount(t, data, "$..DOI")
+	items := queryCount(t, data, "$.items.*.title")
+	if dois == 0 || items == 0 || dois <= items {
+		t.Errorf("C1=%d C4=%d: references should multiply DOIs beyond items", dois, items)
+	}
+	aff := queryCount(t, data, "$.items.*.author.*.affiliation.*.name")
+	affR := queryCount(t, data, "$..author..affiliation..name")
+	if aff == 0 || aff != affR {
+		t.Errorf("C2=%d C2r=%d: rewriting must agree", aff, affR)
+	}
+	ed := queryCount(t, data, "$.items.*.editor.*.affiliation.*.name")
+	if ed >= aff {
+		t.Errorf("C3=%d should be much rarer than C2=%d", ed, aff)
+	}
+}
+
+func TestOpenFoodQueriesMatch(t *testing.T) {
+	data, _ := Generate("openfood", 2<<20, 1)
+	if queryCount(t, data, "$..vitamins_tags") == 0 {
+		t.Error("O1 finds nothing")
+	}
+	if queryCount(t, data, "$..specific_ingredients..ingredient") == 0 {
+		t.Error("O3 finds nothing")
+	}
+}
+
+func TestASTShape(t *testing.T) {
+	data := generate(t, "ast")
+	stats, err := Measure(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's AST is 102 deep; the generated spine gives ~100 levels
+	// of inner arrays (each level adds object+array, so well past 100).
+	if stats.Depth < 90 {
+		t.Errorf("AST depth %d, want >= 90", stats.Depth)
+	}
+	if queryCount(t, data, "$..inner..inner..type.qualType") == 0 {
+		t.Error("A2 finds nothing")
+	}
+	if queryCount(t, data, "$..loc.includedFrom.file") == 0 {
+		t.Error("A3 finds nothing")
+	}
+}
+
+func TestMeasureVerbosityRanges(t *testing.T) {
+	// Verbosity ordering should echo Table 3: walmart (verbose) well above
+	// nspl (dense).
+	w, err := Measure(generate(t, "walmart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Measure(generate(t, "nspl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Verbosity <= n.Verbosity {
+		t.Errorf("verbosity walmart %.1f <= nspl %.1f", w.Verbosity, n.Verbosity)
+	}
+	if n.Depth < 4 || w.Depth < 3 {
+		t.Errorf("depths suspicious: walmart %d, nspl %d", w.Depth, n.Depth)
+	}
+}
+
+func TestMeasureRejectsInvalid(t *testing.T) {
+	if _, err := Measure([]byte("{")); err == nil {
+		t.Fatal("Measure accepted invalid JSON")
+	}
+}

@@ -1,0 +1,561 @@
+package jsongen
+
+import "fmt"
+
+// This file holds one generator per benchmark dataset. Structural
+// commentary cites the queries each dataset serves (Tables 4-6, Appendix C).
+
+// genBestBuy: {"products": [...]} — B1 $.products.*.categoryPath.*.id,
+// B2/B3 videoChapters on ~2% of products.
+func genBestBuy(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.obj(func() {
+		g.fieldNum("total", 1<<20)
+		g.fieldNum("totalPages", 4096)
+		g.key("products")
+		g.arr(func() {
+			for g.len() < target {
+				g.obj(func() {
+					g.fieldNum("sku", g.r.Intn(1e8))
+					g.fieldStr("name", g.words(4))
+					g.fieldStr("type", "HardGood")
+					g.key("regularPrice")
+					g.float(float64(g.r.Intn(100000)) / 100)
+					g.key("onSale")
+					g.boolean(g.r.Intn(2) == 0)
+					g.fieldStr("url", "https://www.example.com/site/"+g.ident())
+					g.key("categoryPath")
+					g.arr(func() {
+						for i, n := 0, 2+g.r.Intn(4); i < n; i++ {
+							g.obj(func() {
+								g.fieldStr("id", "cat"+g.ident())
+								g.fieldStr("name", g.words(2))
+							})
+						}
+					})
+					if g.r.Intn(50) == 0 { // B2/B3: rare videoChapters
+						g.key("videoChapters")
+						g.arr(func() {
+							for i, n := 0, 5+g.r.Intn(10); i < n; i++ {
+								g.obj(func() {
+									g.key("chapter")
+									g.num(i)
+									g.fieldStr("title", g.words(3))
+								})
+							}
+						})
+					}
+					g.fieldStr("manufacturer", g.words(1))
+					g.fieldStr("image", "https://img.example.com/"+g.ident()+".jpg")
+					g.key("customerReviewAverage")
+					g.float(float64(g.r.Intn(500)) / 100)
+				})
+			}
+		})
+	})
+	return g.buf.Bytes()
+}
+
+// genGoogleMap: root array — G1 $.*.routes.*.legs.*.steps.*.distance.text,
+// G2 $.*.available_travel_modes on a small fraction of records.
+func genGoogleMap(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.arr(func() {
+		for g.len() < target {
+			g.obj(func() {
+				g.fieldStr("status", "OK")
+				if g.r.Intn(150) == 0 { // G2: rare
+					g.key("available_travel_modes")
+					g.arr(func() {
+						g.str("DRIVING")
+						g.str("WALKING")
+					})
+				}
+				g.key("geocoded_waypoints")
+				g.arr(func() {
+					for i := 0; i < 2; i++ {
+						g.obj(func() {
+							g.fieldStr("geocoder_status", "OK")
+							g.fieldStr("place_id", g.ident())
+						})
+					}
+				})
+				g.key("routes")
+				g.arr(func() {
+					for i, n := 0, 1+g.r.Intn(2); i < n; i++ {
+						g.obj(func() {
+							g.fieldStr("summary", g.words(2))
+							g.key("legs")
+							g.arr(func() {
+								for j, m := 0, 1+g.r.Intn(2); j < m; j++ {
+									g.obj(func() {
+										g.key("steps")
+										g.arr(func() {
+											for k, s := 0, 3+g.r.Intn(6); k < s; k++ {
+												g.obj(func() {
+													g.key("distance")
+													g.obj(func() {
+														g.fieldStr("text", g.words(1)+" km")
+														g.fieldNum("value", g.r.Intn(10000))
+													})
+													g.key("duration")
+													g.obj(func() {
+														g.fieldStr("text", g.words(1)+" mins")
+														g.fieldNum("value", g.r.Intn(3600))
+													})
+													g.fieldStr("html_instructions", g.words(6))
+													g.fieldStr("travel_mode", "DRIVING")
+												})
+											}
+										})
+									})
+								}
+							})
+						})
+					}
+				})
+			})
+		}
+	})
+	return g.buf.Bytes()
+}
+
+// genNSPL: {"meta": {"view": {...}}, "data": [[[...]]]} — N1
+// $.meta.view.columns.*.name (44 columns), N2 $.data.*.*.* (dense).
+func genNSPL(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.obj(func() {
+		g.key("meta")
+		g.obj(func() {
+			g.key("view")
+			g.obj(func() {
+				g.fieldStr("id", g.ident())
+				g.fieldStr("name", "National Statistics Postcode Lookup")
+				g.fieldNum("rowsUpdatedAt", 1500000000+g.r.Intn(1e8))
+				g.key("columns")
+				g.arr(func() {
+					for i := 0; i < 44; i++ {
+						g.obj(func() {
+							g.fieldNum("id", i)
+							g.fieldStr("name", "col_"+g.ident())
+							g.fieldStr("dataTypeName", "text")
+						})
+					}
+				})
+			})
+		})
+		g.key("data")
+		g.arr(func() {
+			for g.len() < target {
+				g.arr(func() { // row
+					for i, n := 0, 3+g.r.Intn(3); i < n; i++ {
+						g.arr(func() { // cell group: N2's third level
+							for j, m := 0, 2+g.r.Intn(3); j < m; j++ {
+								if g.r.Intn(2) == 0 {
+									g.num(g.r.Intn(1e6))
+								} else {
+									g.str(g.ident())
+								}
+							}
+						})
+					}
+				})
+			}
+		})
+	})
+	return g.buf.Bytes()
+}
+
+// genOpenFood: {"products": [...]} — O1 vitamins_tags, O2
+// added_countries_tags, O3 specific_ingredients.*.ingredient; all rare.
+func genOpenFood(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.obj(func() {
+		g.fieldNum("count", 1000)
+		g.key("products")
+		g.arr(func() {
+			for g.len() < target {
+				g.obj(func() {
+					g.fieldStr("code", g.ident())
+					g.fieldStr("product_name", g.words(3))
+					g.fieldStr("brands", g.words(1))
+					g.key("categories_tags")
+					g.arr(func() {
+						for i, n := 0, 1+g.r.Intn(4); i < n; i++ {
+							g.str("en:" + g.ident())
+						}
+					})
+					if g.r.Intn(500) == 0 { // O1
+						g.key("vitamins_tags")
+						g.arr(func() {
+							g.str("en:vitamin-c")
+							g.str("en:vitamin-d")
+						})
+					}
+					if g.r.Intn(500) == 0 { // O2
+						g.key("added_countries_tags")
+						g.arr(func() { g.str("en:france") })
+					}
+					if g.r.Intn(1000) == 0 { // O3
+						g.key("specific_ingredients")
+						g.arr(func() {
+							g.obj(func() {
+								g.fieldStr("ingredient", "en:"+g.ident())
+								g.fieldStr("text", g.words(4))
+							})
+						})
+					}
+					g.key("nutriments")
+					g.obj(func() {
+						g.fieldNum("energy", g.r.Intn(3000))
+						g.key("fat")
+						g.float(float64(g.r.Intn(1000)) / 10)
+						g.key("sugars")
+						g.float(float64(g.r.Intn(1000)) / 10)
+					})
+					g.fieldStr("ingredients_text", g.words(10))
+				})
+			}
+		})
+	})
+	return g.buf.Bytes()
+}
+
+// genTwitter: root array of tweets — T1 $.*.entities.urls.*.url, T2 $.*.text;
+// occasional retweeted_status nesting gives the depth of Table 3.
+func genTwitter(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.arr(func() {
+		for g.len() < target {
+			tweet(g, 2)
+		}
+	})
+	return g.buf.Bytes()
+}
+
+func tweet(g *gen, nestBudget int) {
+	g.obj(func() {
+		g.fieldNum("id", g.r.Intn(1<<31))
+		g.fieldStr("created_at", "Thu Jun 22 21:00:00 +0000 2023")
+		g.fieldStr("text", g.words(8))
+		g.key("user")
+		g.obj(func() {
+			g.fieldNum("id", g.r.Intn(1<<31))
+			g.fieldStr("screen_name", g.ident())
+			g.fieldStr("description", g.words(5))
+			g.fieldNum("followers_count", g.r.Intn(1e6))
+		})
+		g.key("entities")
+		g.obj(func() {
+			g.key("hashtags")
+			g.arr(func() {
+				for i, n := 0, g.r.Intn(3); i < n; i++ {
+					g.obj(func() {
+						g.fieldStr("text", g.words(1))
+						g.key("indices")
+						g.arr(func() { g.num(0); g.num(7) })
+					})
+				}
+			})
+			g.key("urls")
+			g.arr(func() {
+				for i, n := 0, g.r.Intn(3); i < n; i++ {
+					g.obj(func() {
+						g.fieldStr("url", "https://t.co/"+g.ident())
+						g.fieldStr("expanded_url", "https://example.com/"+g.ident())
+						g.key("indices")
+						g.arr(func() { g.num(10); g.num(33) })
+					})
+				}
+			})
+		})
+		if nestBudget > 0 && g.r.Intn(4) == 0 {
+			g.key("retweeted_status")
+			tweet(g, nestBudget-1)
+		}
+		g.fieldNum("retweet_count", g.r.Intn(10000))
+		g.key("favorited")
+		g.boolean(false)
+	})
+}
+
+// genTwitterSmall: the simdjson quick-start style file — Ts queries need
+// "count" to occur exactly once, under search_metadata.
+func genTwitterSmall(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.obj(func() {
+		g.key("statuses")
+		g.arr(func() {
+			for g.len() < target {
+				tweet(g, 2)
+			}
+		})
+		g.key("search_metadata")
+		g.obj(func() {
+			g.key("completed_in")
+			g.float(0.087)
+			g.fieldNum("max_id", g.r.Intn(1<<31))
+			g.fieldStr("query", "%23golang")
+			g.fieldNum("count", 100)
+		})
+	})
+	return g.buf.Bytes()
+}
+
+// genWalmart: {"items": [...]} — W1 bestMarketplacePrice.price on ~6% of
+// items, W2 $.items.*.name on all; long descriptions give the high
+// verbosity of Table 3.
+func genWalmart(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.obj(func() {
+		g.fieldNum("totalResults", 1<<18)
+		g.key("items")
+		g.arr(func() {
+			for g.len() < target {
+				g.obj(func() {
+					g.fieldNum("itemId", g.r.Intn(1e8))
+					g.fieldStr("name", g.words(5))
+					g.key("salePrice")
+					g.float(float64(g.r.Intn(100000)) / 100)
+					if g.r.Intn(16) == 0 { // W1
+						g.key("bestMarketplacePrice")
+						g.obj(func() {
+							g.key("price")
+							g.float(float64(g.r.Intn(100000)) / 100)
+							g.fieldStr("sellerInfo", g.words(2))
+						})
+					}
+					g.fieldStr("shortDescription", g.words(25))
+					g.fieldStr("longDescription", g.words(60))
+					g.fieldStr("thumbnailImage", "https://i.example.com/"+g.ident()+".jpeg")
+					g.fieldStr("category", g.words(2))
+				})
+			}
+		})
+	})
+	return g.buf.Bytes()
+}
+
+// genWikimedia: root array of entities — Wi $.*.claims.P150.*.mainsnak.property
+// with P150 on a minority of entities.
+func genWikimedia(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.arr(func() {
+		for g.len() < target {
+			g.obj(func() {
+				g.fieldStr("id", "Q"+g.ident())
+				g.fieldStr("type", "item")
+				g.key("labels")
+				g.obj(func() {
+					g.key("en")
+					g.obj(func() {
+						g.fieldStr("language", "en")
+						g.fieldStr("value", g.words(2))
+					})
+				})
+				g.key("claims")
+				g.obj(func() {
+					g.key("P31")
+					g.arr(func() {
+						claim(g, "P31")
+					})
+					if g.r.Intn(12) == 0 { // Wi
+						g.key("P150")
+						g.arr(func() {
+							for i, n := 0, 1+g.r.Intn(3); i < n; i++ {
+								claim(g, "P150")
+							}
+						})
+					}
+				})
+				g.key("sitelinks")
+				g.obj(func() {
+					g.key("enwiki")
+					g.obj(func() {
+						g.fieldStr("site", "enwiki")
+						g.fieldStr("title", g.words(2))
+					})
+				})
+			})
+		}
+	})
+	return g.buf.Bytes()
+}
+
+func claim(g *gen, prop string) {
+	g.obj(func() {
+		g.key("mainsnak")
+		g.obj(func() {
+			g.fieldStr("snaktype", "value")
+			g.fieldStr("property", prop)
+			g.key("datavalue")
+			g.obj(func() {
+				g.key("value")
+				g.obj(func() {
+					g.fieldStr("entity-type", "item")
+					g.fieldNum("numeric-id", g.r.Intn(1e7))
+				})
+				g.fieldStr("type", "wikibase-entityid")
+			})
+		})
+		g.fieldStr("rank", "normal")
+	})
+}
+
+// genCrossref: {"items": [...]} — C1 $..DOI (works and their references),
+// C2/C2r author affiliations, C3/C3r rare editors, C4 titles, C5 ORCID;
+// also the Experiment D scalability base.
+func genCrossref(target int, seed int64) []byte {
+	g := newGen(seed)
+	g.obj(func() {
+		g.fieldStr("status", "ok")
+		g.key("items")
+		g.arr(func() {
+			for g.len() < target {
+				g.obj(func() {
+					g.fieldStr("DOI", "10.1000/"+g.ident())
+					g.key("title")
+					g.arr(func() { g.str(g.words(6)) })
+					g.fieldStr("publisher", g.words(2))
+					g.fieldStr("type", "journal-article")
+					g.key("author")
+					g.arr(func() {
+						for i, n := 0, 1+g.r.Intn(4); i < n; i++ {
+							g.obj(func() {
+								g.fieldStr("given", g.words(1))
+								g.fieldStr("family", g.words(1))
+								g.fieldStr("sequence", "first")
+								if g.r.Intn(5) == 0 { // C5
+									g.fieldStr("ORCID", "http://orcid.org/0000-0002-"+g.ident())
+								}
+								g.key("affiliation")
+								g.arr(func() {
+									if g.r.Intn(3) == 0 { // C2, S*
+										g.obj(func() {
+											g.fieldStr("name", g.words(4)+" University")
+										})
+									}
+								})
+							})
+						}
+					})
+					if g.r.Intn(1500) == 0 { // C3: rare editors
+						g.key("editor")
+						g.arr(func() {
+							g.obj(func() {
+								g.fieldStr("given", g.words(1))
+								g.fieldStr("family", g.words(1))
+								g.key("affiliation")
+								g.arr(func() {
+									g.obj(func() {
+										g.fieldStr("name", g.words(3)+" Institute")
+									})
+								})
+							})
+						})
+					}
+					g.key("reference")
+					g.arr(func() {
+						for i, n := 0, 2+g.r.Intn(6); i < n; i++ {
+							g.obj(func() {
+								g.fieldStr("key", g.ident())
+								if g.r.Intn(2) == 0 { // C1's extra DOIs
+									g.fieldStr("DOI", "10.1000/"+g.ident())
+								}
+								g.fieldStr("unstructured", g.words(8))
+							})
+						}
+					})
+					g.key("issued")
+					g.obj(func() {
+						g.key("date-parts")
+						g.arr(func() {
+							g.arr(func() { g.num(1990 + g.r.Intn(35)) })
+						})
+					})
+				})
+			}
+		})
+	})
+	return g.buf.Bytes()
+}
+
+// genAST: a clang-style abstract syntax tree — deep (target depth ~100) and
+// irregular. A1 $..decl.name (very rare), A2 $..inner..inner..type.qualType,
+// A3 $..loc.includedFrom.file (rare).
+func genAST(target int, seed int64) []byte {
+	g := newGen(seed)
+	// depthBudget shapes the recursion: the first child of the spine keeps
+	// most of the budget, so one path reaches ~100 levels of "inner" while
+	// the bulk of the tree stays shallow — matching clang's output shape.
+	var node func(budget int)
+	kinds := []string{
+		"FunctionDecl", "CompoundStmt", "DeclStmt", "VarDecl", "CallExpr",
+		"ImplicitCastExpr", "DeclRefExpr", "BinaryOperator", "IfStmt",
+		"ReturnStmt", "IntegerLiteral", "ParmVarDecl",
+	}
+	node = func(budget int) {
+		g.obj(func() {
+			g.fieldStr("id", fmt.Sprintf("%#x", g.r.Intn(1<<30)))
+			g.fieldStr("kind", kinds[g.r.Intn(len(kinds))])
+			g.key("loc")
+			g.obj(func() {
+				g.fieldNum("offset", g.r.Intn(1e6))
+				g.fieldNum("line", g.r.Intn(23000))
+				g.fieldNum("col", g.r.Intn(120))
+				if g.r.Intn(300) == 0 { // A3
+					g.key("includedFrom")
+					g.obj(func() {
+						g.fieldStr("file", "/usr/include/"+g.ident()+".h")
+					})
+				}
+			})
+			if g.r.Intn(3) != 0 { // A2: type.qualType on most nodes
+				g.key("type")
+				g.obj(func() {
+					g.fieldStr("qualType", []string{"int", "char *", "void", "unsigned long", "double"}[g.r.Intn(5)])
+				})
+			}
+			if g.r.Intn(4) == 0 {
+				g.fieldStr("name", g.ident())
+			}
+			if g.r.Intn(800) == 0 { // A1: very rare decl.name
+				g.key("decl")
+				g.obj(func() {
+					g.fieldStr("name", g.ident())
+					g.fieldStr("kind", "FunctionDecl")
+				})
+			}
+			if budget > 0 && g.len() < target {
+				g.key("inner")
+				g.arr(func() {
+					// First child inherits the deep budget; siblings are
+					// shallow.
+					node(budget - 1)
+					for i, n := 0, g.r.Intn(3); i < n && g.len() < target; i++ {
+						node(min(budget-1, 3+g.r.Intn(4)))
+					}
+				})
+			}
+		})
+	}
+	g.obj(func() {
+		g.fieldStr("id", "0x1")
+		g.fieldStr("kind", "TranslationUnitDecl")
+		g.key("inner")
+		g.arr(func() {
+			node(96) // one deep spine
+			for g.len() < target {
+				node(3 + g.r.Intn(8)) // shallow forest filling to size
+			}
+		})
+	})
+	return g.buf.Bytes()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+// Package ski is the JSONSki-analogue baseline of §5.2: a reimplementation
+// of the published JSONSki algorithm (Jiang & Zhao, ASPLOS 2022) on the
+// same SWAR substrate as the main engine.
+//
+// Faithfully to the original, it supports only child label selectors and
+// wildcard selectors, with JSONSki's restricted wildcard semantics: a
+// wildcard steps into every entry of an array but not into the fields of an
+// object (§1.1). Descendant and index selectors are rejected at
+// compilation. Irrelevant values are fast-forwarded with the bit-parallel
+// bracket counting of classifier.ScanToClose, and once a label step has
+// matched, the remaining siblings are fast-forwarded to the enclosing
+// closer — the skipping repertoire the paper credits JSONSki with.
+package ski
+
+import (
+	"errors"
+	"fmt"
+
+	"rsonpath/internal/classifier"
+	"rsonpath/internal/jsonpath"
+)
+
+// ErrUnsupported is returned for queries outside JSONSki's fragment.
+var ErrUnsupported = errors.New("ski: query uses selectors JSONSki does not support (descendant, index, slice, or union)")
+
+// ErrMalformed is returned for inputs the scanner cannot balance.
+var ErrMalformed = errors.New("ski: malformed JSON input")
+
+// step is one query step: a concrete label or an (array-only) wildcard.
+type step struct {
+	label    []byte
+	wildcard bool
+}
+
+// Engine executes one compiled query. Safe for concurrent use.
+type Engine struct {
+	steps []step
+}
+
+// New compiles q, rejecting selectors outside JSONSki's fragment
+// (descendants, indices, and unions).
+func New(q *jsonpath.Query) (*Engine, error) {
+	e := &Engine{}
+	for i := range q.Selectors {
+		sel := &q.Selectors[i]
+		if sel.Descendant || sel.SelectsIndices() || len(sel.Labels) > 1 {
+			return nil, ErrUnsupported
+		}
+		st := step{wildcard: sel.Wildcard}
+		if !sel.Wildcard {
+			st.label = sel.Labels[0]
+		}
+		e.steps = append(e.steps, st)
+	}
+	return e, nil
+}
+
+// CompileQuery parses and compiles a query string.
+func CompileQuery(query string) (*Engine, error) {
+	q, err := jsonpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return New(q)
+}
+
+// Count runs the query and returns the number of matches.
+func (e *Engine) Count(data []byte) (int, error) {
+	n := 0
+	err := e.Run(data, func(int) { n++ })
+	return n, err
+}
+
+// Matches runs the query and returns match offsets in document order.
+func (e *Engine) Matches(data []byte) ([]int, error) {
+	var out []int
+	err := e.Run(data, func(pos int) { out = append(out, pos) })
+	return out, err
+}
+
+// Run streams the document, invoking emit for every match.
+func (e *Engine) Run(data []byte, emit func(pos int)) error {
+	r := &run{e: e, data: data, emit: emit}
+	pos := skipWS(data, 0)
+	if pos >= len(data) {
+		return r.errf(0, "empty input")
+	}
+	if len(e.steps) == 0 {
+		emit(pos)
+		return nil
+	}
+	_, err := r.value(pos, 0)
+	return err
+}
+
+type run struct {
+	e    *Engine
+	data []byte
+	emit func(int)
+}
+
+func (r *run) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, fmt.Sprintf(format, args...), pos)
+}
+
+// value processes the value at pos against steps[k:] and returns the offset
+// just past the value. k < len(steps): the caller reports final matches.
+func (r *run) value(pos, k int) (end int, err error) {
+	st := r.e.steps[k]
+	switch r.data[pos] {
+	case '{':
+		if st.wildcard {
+			// JSONSki wildcard semantics: objects are not traversed.
+			return r.skipValue(pos)
+		}
+		return r.object(pos, k)
+	case '[':
+		if !st.wildcard {
+			// Labels cannot match array entries.
+			return r.skipValue(pos)
+		}
+		return r.array(pos, k)
+	default:
+		return r.skipValue(pos)
+	}
+}
+
+// dispatch routes a child value: emit it when the query is exhausted,
+// recurse otherwise.
+func (r *run) dispatch(pos, k int) (end int, err error) {
+	if k == len(r.e.steps) {
+		r.emit(pos)
+		return r.skipValue(pos)
+	}
+	return r.value(pos, k)
+}
+
+// object scans the members of the object at pos, descending into the one
+// whose key equals the step's label and fast-forwarding everything else.
+func (r *run) object(pos, k int) (end int, err error) {
+	label := r.e.steps[k].label
+	i := skipWS(r.data, pos+1)
+	if i < len(r.data) && r.data[i] == '}' {
+		return i + 1, nil
+	}
+	for {
+		if i >= len(r.data) || r.data[i] != '"' {
+			return 0, r.errf(i, "expected object key")
+		}
+		key, j, err := scanString(r.data, i)
+		if err != nil {
+			return 0, err
+		}
+		j = skipWS(r.data, j)
+		if j >= len(r.data) || r.data[j] != ':' {
+			return 0, r.errf(j, "expected ':'")
+		}
+		v := skipWS(r.data, j+1)
+		if v >= len(r.data) {
+			return 0, r.errf(v, "missing value")
+		}
+		if bytesEqual(key, label) {
+			if _, err = r.dispatch(v, k+1); err != nil {
+				return 0, err
+			}
+			// Keys are assumed unique among siblings: fast-forward to the
+			// object's closer (JSONSki's sibling skipping).
+			close, ok := classifier.ScanToClose(r.data, pos+1, '{')
+			if !ok {
+				return 0, r.errf(pos, "unterminated object")
+			}
+			return close + 1, nil
+		}
+		i, err = r.skipValue(v)
+		if err != nil {
+			return 0, err
+		}
+		i = skipWS(r.data, i)
+		if i >= len(r.data) {
+			return 0, r.errf(i, "unterminated object")
+		}
+		switch r.data[i] {
+		case ',':
+			i = skipWS(r.data, i+1)
+		case '}':
+			return i + 1, nil
+		default:
+			return 0, r.errf(i, "expected ',' or '}'")
+		}
+	}
+}
+
+// array scans the entries of the array at pos, descending into each
+// (wildcard step).
+func (r *run) array(pos, k int) (end int, err error) {
+	i := skipWS(r.data, pos+1)
+	if i < len(r.data) && r.data[i] == ']' {
+		return i + 1, nil
+	}
+	for {
+		if i >= len(r.data) {
+			return 0, r.errf(i, "unterminated array")
+		}
+		i, err = r.dispatch(i, k+1)
+		if err != nil {
+			return 0, err
+		}
+		i = skipWS(r.data, i)
+		if i >= len(r.data) {
+			return 0, r.errf(i, "unterminated array")
+		}
+		switch r.data[i] {
+		case ',':
+			i = skipWS(r.data, i+1)
+		case ']':
+			return i + 1, nil
+		default:
+			return 0, r.errf(i, "expected ',' or ']'")
+		}
+	}
+}
+
+// skipValue fast-forwards over the value at pos and returns the offset just
+// past it; composite values use the bit-parallel depth scan.
+func (r *run) skipValue(pos int) (end int, err error) {
+	switch c := r.data[pos]; {
+	case c == '{' || c == '[':
+		close, ok := classifier.ScanToClose(r.data, pos+1, c)
+		if !ok {
+			return 0, r.errf(pos, "unterminated value")
+		}
+		return close + 1, nil
+	case c == '"':
+		_, end, err := scanString(r.data, pos)
+		return end, err
+	default:
+		i := pos
+		for i < len(r.data) {
+			switch r.data[i] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return i, nil
+			}
+			i++
+		}
+		return i, nil
+	}
+}
+
+// scanString consumes the string starting at the quote at pos, returning
+// its raw contents and the offset just past the closing quote.
+func scanString(data []byte, pos int) (raw []byte, end int, err error) {
+	i := pos + 1
+	for i < len(data) {
+		switch data[i] {
+		case '"':
+			return data[pos+1 : i], i + 1, nil
+		case '\\':
+			i += 2
+		default:
+			i++
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: unterminated string at offset %d", ErrMalformed, pos)
+}
+
+func skipWS(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

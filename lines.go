@@ -1,0 +1,70 @@
+package rsonpath
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// LineMatch describes the matches of one newline-delimited record.
+type LineMatch struct {
+	// Line is the 1-based record number (empty lines are skipped but
+	// counted).
+	Line int
+	// Record is the raw record bytes; valid only during the visit call.
+	Record []byte
+	// Offsets are the match offsets within Record, in document order.
+	Offsets []int
+}
+
+// RunLines streams newline-delimited JSON (JSON Lines) from r, evaluating
+// the query against every record with memory bounded by the largest single
+// record — the streaming regime the paper's introduction motivates, applied
+// record-wise. visit is called for each record with at least one match;
+// returning a non-nil error stops the scan and is returned verbatim.
+//
+// Records that are not valid JSON abort the scan with an error naming the
+// line; use visit-side recovery if a dirty feed must be tolerated.
+func (q *Query) RunLines(r io.Reader, visit func(m LineMatch) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line := 0
+	var offs []int
+	for {
+		record, err := br.ReadBytes('\n')
+		if len(record) == 0 && err == io.EOF {
+			return nil
+		}
+		line++
+		trimmed := bytes.TrimSpace(record)
+		if len(trimmed) > 0 {
+			offs = offs[:0]
+			runErr := q.Run(trimmed, func(pos int) { offs = append(offs, pos) })
+			if runErr != nil {
+				return fmt.Errorf("rsonpath: line %d: %w", line, runErr)
+			}
+			if len(offs) > 0 {
+				if err := visit(LineMatch{Line: line, Record: trimmed, Offsets: offs}); err != nil {
+					return err
+				}
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// CountLines streams newline-delimited JSON from r and returns the total
+// number of matches across all records.
+func (q *Query) CountLines(r io.Reader) (int, error) {
+	total := 0
+	err := q.RunLines(r, func(m LineMatch) error {
+		total += len(m.Offsets)
+		return nil
+	})
+	return total, err
+}

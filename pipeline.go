@@ -1,0 +1,95 @@
+package rsonpath
+
+import "sort"
+
+// Pipeline evaluates queries in succession, feeding the output of each
+// stage to the next — the compositionality the paper lists as an open
+// challenge in §6. This reference implementation re-runs later stages on
+// each matched subdocument; results keep node semantics (a set of nodes of
+// the original document, in document order) by deduplicating offsets across
+// stage outputs.
+type Pipeline struct {
+	stages []*Query
+}
+
+// NewPipeline composes stages left to right. At least one stage is
+// required; single-stage pipelines behave exactly like the query itself.
+func NewPipeline(stages ...*Query) *Pipeline {
+	return &Pipeline{stages: append([]*Query(nil), stages...)}
+}
+
+// MatchOffsets returns the byte offsets (into the original document) of the
+// values matched by the final stage, deduplicated and in document order.
+func (p *Pipeline) MatchOffsets(data []byte) ([]int, error) {
+	if len(p.stages) == 0 {
+		return nil, nil
+	}
+	current := []int{0}
+	if pos := firstNonWS(data); pos < len(data) {
+		current = []int{pos}
+	}
+	for _, q := range p.stages {
+		var next []int
+		for _, base := range current {
+			v, err := ValueAt(data, base)
+			if err != nil {
+				return nil, err
+			}
+			if err := q.Run(v, func(pos int) {
+				next = append(next, base+pos)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		sort.Ints(next)
+		next = dedupeSorted(next)
+		current = next
+	}
+	return current, nil
+}
+
+// Count returns the number of final-stage matches.
+func (p *Pipeline) Count(data []byte) (int, error) {
+	offs, err := p.MatchOffsets(data)
+	return len(offs), err
+}
+
+// MatchValues returns the raw bytes of the final-stage matches.
+func (p *Pipeline) MatchValues(data []byte) ([][]byte, error) {
+	offs, err := p.MatchOffsets(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(offs))
+	for i, o := range offs {
+		v, err := ValueAt(data, o)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func dedupeSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func firstNonWS(data []byte) int {
+	i := 0
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}

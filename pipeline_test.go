@@ -1,0 +1,165 @@
+package rsonpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineTwoStages(t *testing.T) {
+	doc := []byte(`{"users": [{"addr": {"city": "A"}}, {"addr": {"city": "B"}}], "addr": {"city": "C"}}`)
+	p := NewPipeline(MustCompile("$.users.*"), MustCompile("$..city"))
+	vals, err := p.MatchValues(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || string(vals[0]) != `"A"` || string(vals[1]) != `"B"` {
+		t.Fatalf("values %q", vals)
+	}
+}
+
+func TestPipelineEquivalentToConcatenation(t *testing.T) {
+	// $.a | $..b must equal $.a..b under node semantics.
+	doc := []byte(`{"a": {"x": {"b": 1}, "b": [2]}, "b": 3}`)
+	p := NewPipeline(MustCompile("$.a"), MustCompile("$..b"))
+	got, err := p.MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MustCompile("$.a..b").MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pipeline %v, direct %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pipeline %v, direct %v", got, want)
+		}
+	}
+}
+
+func TestPipelineDeduplicatesOverlaps(t *testing.T) {
+	// Stage 1 matches nested nodes; stage 2 must not double-report.
+	doc := []byte(`{"a": {"a": {"b": 1}}}`)
+	p := NewPipeline(MustCompile("$..a"), MustCompile("$..b"))
+	offs, err := p.MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 1 {
+		t.Fatalf("offsets %v, want one (node semantics)", offs)
+	}
+}
+
+func TestPipelineThreeStagesAndIdentity(t *testing.T) {
+	doc := []byte(`{"a": {"b": {"c": 42}}}`)
+	p := NewPipeline(MustCompile("$.a"), MustCompile("$.b"), MustCompile("$.c"))
+	n, err := p.Count(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count %d", n)
+	}
+	// "$" stages are identities.
+	p = NewPipeline(MustCompile("$"), MustCompile("$..c"), MustCompile("$"))
+	offs, err := p.MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 1 || string(doc[offs[0]]) != "4" {
+		t.Fatalf("offsets %v", offs)
+	}
+}
+
+func TestPipelineEmptyAndErrors(t *testing.T) {
+	p := NewPipeline()
+	offs, err := p.MatchOffsets([]byte(`{}`))
+	if err != nil || len(offs) != 0 {
+		t.Fatalf("empty pipeline: %v %v", offs, err)
+	}
+	p = NewPipeline(MustCompile("$.a"))
+	if _, err := p.MatchOffsets([]byte(`{"a":`)); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestRunLines(t *testing.T) {
+	input := strings.Join([]string{
+		`{"a": 1, "b": {"a": 2}}`,
+		``,
+		`{"x": 0}`,
+		`[{"a": 3}]`,
+	}, "\n")
+	q := MustCompile("$..a")
+	var lines []int
+	var total int
+	err := q.RunLines(strings.NewReader(input), func(m LineMatch) error {
+		lines = append(lines, m.Line)
+		total += len(m.Offsets)
+		for _, o := range m.Offsets {
+			if _, err := ValueAt(m.Record, o); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || len(lines) != 2 || lines[0] != 1 || lines[1] != 4 {
+		t.Fatalf("lines %v, total %d", lines, total)
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	input := `{"a": 1}` + "\n" + `{"a": [1, 2]}` + "\n"
+	n, err := MustCompile("$.a").CountLines(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count %d", n)
+	}
+}
+
+func TestRunLinesNoTrailingNewline(t *testing.T) {
+	n, err := MustCompile("$.a").CountLines(strings.NewReader(`{"a": 9}`))
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestRunLinesMalformedRecord(t *testing.T) {
+	input := `{"a": 1}` + "\n" + `{"a": ` + "\n"
+	err := MustCompile("$.a").RunLines(strings.NewReader(input), func(LineMatch) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 failure", err)
+	}
+}
+
+func TestRunLinesVisitErrorStops(t *testing.T) {
+	input := `{"a": 1}` + "\n" + `{"a": 2}` + "\n"
+	calls := 0
+	err := MustCompile("$.a").RunLines(strings.NewReader(input), func(LineMatch) error {
+		calls++
+		return errTruncated // any sentinel
+	})
+	if err != errTruncated || calls != 1 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRunLinesLargeRecords(t *testing.T) {
+	// Records larger than the reader's buffer must still work.
+	big := `{"a": "` + strings.Repeat("x", 1<<18) + `", "b": {"a": 1}}`
+	input := big + "\n" + big + "\n"
+	n, err := MustCompile("$..a").CountLines(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("count %d, want 4", n)
+	}
+}

@@ -1,0 +1,240 @@
+package rsonpath
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rsonpath/internal/automaton"
+	"rsonpath/internal/dom"
+	"rsonpath/internal/engine"
+	"rsonpath/internal/jsonpath"
+	"rsonpath/internal/ski"
+	"rsonpath/internal/surfer"
+)
+
+// errPathSemantics rejects PathSemantics on streaming engines: reproducing
+// access-path multiplicities would require unbounded working memory (§2).
+var errPathSemantics = errors.New("rsonpath: path semantics requires EngineDOM")
+
+// EngineKind selects the execution engine backing a Query.
+type EngineKind int
+
+const (
+	// EngineRsonpath is the paper's engine: SWAR classification, skipping,
+	// depth-stack simulation. The default.
+	EngineRsonpath EngineKind = iota
+	// EngineSurfer is the non-accelerated streaming baseline (full
+	// fragment, no skipping).
+	EngineSurfer
+	// EngineSki is the JSONSki-analogue baseline (child and array-wildcard
+	// selectors only; returns ErrUnsupportedQuery otherwise).
+	EngineSki
+	// EngineDOM parses the document into a tree and evaluates the query
+	// recursively — the reference implementation. The only engine that
+	// supports PathSemantics.
+	EngineDOM
+	// EngineStackless simulates the depth-register automata of §3.2 (no
+	// stack at all); it supports only descendant-only label chains like
+	// $..a..b and returns ErrUnsupportedQuery otherwise.
+	EngineStackless
+)
+
+// String returns the engine name used in benchmark output.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineRsonpath:
+		return "rsonpath"
+	case EngineSurfer:
+		return "surfer"
+	case EngineSki:
+		return "ski"
+	case EngineDOM:
+		return "dom"
+	case EngineStackless:
+		return "stackless"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// ErrUnsupportedQuery is returned when a query uses selectors the chosen
+// engine cannot execute (EngineSki's fragment and EngineStackless's
+// descendant-only chains).
+var ErrUnsupportedQuery = ski.ErrUnsupported
+
+// Optimizations toggles the accelerated engine's skipping techniques
+// (§3.3 of the paper); all are enabled by default. Used by the ablation
+// benchmarks; leave untouched otherwise.
+type Optimizations struct {
+	NoHeadSkip     bool // disable skipping to the first descendant label
+	NoSkipChildren bool // disable fast-forwarding over rejected subtrees
+	NoSkipSiblings bool // disable fast-forwarding after unitary matches
+	NoSkipLeaves   bool // keep commas/colons always enabled
+	// TailSkip enables the paper's §4.5 future-work classifier: in
+	// non-initial descendant segments the engine fast-forwards to the next
+	// occurrence of the sought label within the current element. Off by
+	// default (the paper's configuration).
+	TailSkip bool
+}
+
+// Option configures Compile.
+type Option func(*config)
+
+type config struct {
+	kind      EngineKind
+	opt       Optimizations
+	semantics Semantics
+}
+
+// WithEngine selects the execution engine.
+func WithEngine(kind EngineKind) Option {
+	return func(c *config) { c.kind = kind }
+}
+
+// WithOptimizations overrides the accelerated engine's skipping toggles.
+func WithOptimizations(o Optimizations) Option {
+	return func(c *config) { c.opt = o }
+}
+
+// runner is the common surface of the three engines.
+type runner interface {
+	Run(data []byte, emit func(pos int)) error
+}
+
+// Query is a compiled JSONPath query, immutable and safe for concurrent
+// use.
+type Query struct {
+	source string
+	parsed *jsonpath.Query
+	kind   EngineKind
+	run    runner
+}
+
+// Compile parses and compiles a JSONPath expression.
+func Compile(query string, opts ...Option) (*Query, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	parsed, err := jsonpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if c.semantics == PathSemantics && c.kind != EngineDOM {
+		return nil, errPathSemantics
+	}
+	q := &Query{source: query, parsed: parsed, kind: c.kind}
+	switch c.kind {
+	case EngineDOM:
+		sem := dom.NodeSemantics
+		if c.semantics == PathSemantics {
+			sem = dom.PathSemantics
+		}
+		q.run = &domRunner{query: parsed, semantics: sem}
+	case EngineSki:
+		q.run, err = ski.New(parsed)
+	case EngineStackless:
+		q.run, err = engine.NewStackless(parsed)
+		if errors.Is(err, engine.ErrNotStackless) {
+			err = ErrUnsupportedQuery
+		}
+	case EngineSurfer:
+		var dfa *automaton.DFA
+		dfa, err = automaton.Compile(parsed, automaton.Options{})
+		if err == nil {
+			q.run = surfer.New(dfa)
+		}
+	default:
+		var dfa *automaton.DFA
+		dfa, err = automaton.Compile(parsed, automaton.Options{})
+		if err == nil {
+			q.run = engine.New(dfa, engine.Options{
+				DisableHeadSkip:     c.opt.NoHeadSkip,
+				DisableSkipChildren: c.opt.NoSkipChildren,
+				DisableSkipSiblings: c.opt.NoSkipSiblings,
+				DisableSkipLeaves:   c.opt.NoSkipLeaves,
+				EnableTailSkip:      c.opt.TailSkip,
+			})
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error, for fixed queries.
+func MustCompile(query string, opts ...Option) *Query {
+	q, err := Compile(query, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the canonical form of the query.
+func (q *Query) String() string { return q.parsed.String() }
+
+// Source returns the query text as passed to Compile.
+func (q *Query) Source() string { return q.source }
+
+// Engine returns the engine kind backing this query.
+func (q *Query) Engine() EngineKind { return q.kind }
+
+// Run streams the document once, calling emit with the byte offset of the
+// first character of every matched value, in document order.
+func (q *Query) Run(data []byte, emit func(pos int)) error {
+	return q.run.Run(data, emit)
+}
+
+// Count returns the number of matches in data.
+func (q *Query) Count(data []byte) (int, error) {
+	n := 0
+	err := q.run.Run(data, func(int) { n++ })
+	return n, err
+}
+
+// MatchOffsets returns the byte offsets of all matched values.
+func (q *Query) MatchOffsets(data []byte) ([]int, error) {
+	var out []int
+	err := q.run.Run(data, func(pos int) { out = append(out, pos) })
+	return out, err
+}
+
+// MatchValues returns the raw bytes of every matched value. The returned
+// slices alias data.
+func (q *Query) MatchValues(data []byte) ([][]byte, error) {
+	var out [][]byte
+	var extractErr error
+	err := q.run.Run(data, func(pos int) {
+		if extractErr != nil {
+			return
+		}
+		v, err := ValueAt(data, pos)
+		if err != nil {
+			extractErr = err
+			return
+		}
+		out = append(out, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, extractErr
+}
+
+// CountReader reads the whole stream and counts matches. Like the original
+// system (which memory-maps its input), the engine operates on a complete
+// in-memory buffer; this helper does the buffering.
+func (q *Query) CountReader(r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	return q.Count(data)
+}
+
+// errTruncated is returned by ValueAt on values that do not end within the
+// buffer.
+var errTruncated = errors.New("rsonpath: truncated value")

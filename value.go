@@ -1,0 +1,48 @@
+package rsonpath
+
+import (
+	"fmt"
+
+	"rsonpath/internal/classifier"
+)
+
+// ValueAt extracts the complete JSON value starting at offset pos in data,
+// as reported by Query.Run. The returned slice aliases data. Composite
+// values are delimited with the same word-parallel depth scan the engine
+// uses for skipping.
+func ValueAt(data []byte, pos int) ([]byte, error) {
+	if pos < 0 || pos >= len(data) {
+		return nil, fmt.Errorf("rsonpath: offset %d out of range", pos)
+	}
+	switch c := data[pos]; c {
+	case '{', '[':
+		end, ok := classifier.ScanToClose(data, pos+1, c)
+		if !ok {
+			return nil, errTruncated
+		}
+		return data[pos : end+1], nil
+	case '"':
+		i := pos + 1
+		for i < len(data) {
+			switch data[i] {
+			case '"':
+				return data[pos : i+1], nil
+			case '\\':
+				i += 2
+			default:
+				i++
+			}
+		}
+		return nil, errTruncated
+	default:
+		i := pos
+		for i < len(data) {
+			switch data[i] {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return data[pos:i], nil
+			}
+			i++
+		}
+		return data[pos:i], nil
+	}
+}
