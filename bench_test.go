@@ -227,3 +227,42 @@ func BenchmarkStackless(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMultiQuery compares one-pass QuerySet evaluation against N
+// independent Query runs on every multi-query workload.
+func BenchmarkMultiQuery(b *testing.B) {
+	for _, spec := range bench.MultiSpecs {
+		data, err := benchHarness.Dataset(spec.Dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := rsonpath.CompileSet(spec.Queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		indep := make([]*rsonpath.Query, len(spec.Queries))
+		for i, src := range spec.Queries {
+			if indep[i], err = rsonpath.Compile(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("%s/set", spec.ID), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := set.Counts(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/independent", spec.ID), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				for _, q := range indep {
+					if _, err := q.Count(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

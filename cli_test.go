@@ -4,6 +4,7 @@ package rsonpath_test
 // drive it the way a user would.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -191,5 +192,120 @@ func TestCLIRsonpathLines(t *testing.T) {
 	}
 	if strings.TrimSpace(string(out)) != "2" {
 		t.Fatalf("dom count %q", out)
+	}
+}
+
+func TestCLIRsonpathMultiQuery(t *testing.T) {
+	bin := buildTool(t, "rsonpath")
+	doc := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(doc, []byte(`{"a": 1, "b": {"a": 2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Repeated -e flags: tagged values in document order.
+	out, err := exec.Command(bin, "-e", "$..a", "-e", "$.b", doc).Output()
+	if err != nil {
+		t.Fatalf("rsonpath -e: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:1\n1:{\"a\": 2}\n0:2" {
+		t.Fatalf("multi values output %q", got)
+	}
+
+	// Tagged counts.
+	out, err = exec.Command(bin, "-count", "-e", "$..a", "-e", "$.b", doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:2\n1:1" {
+		t.Fatalf("multi count output %q", got)
+	}
+
+	// Tagged offsets.
+	out, err = exec.Command(bin, "-offsets", "-e", "$..a", "-e", "$.b", doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:6\n1:14\n0:20" {
+		t.Fatalf("multi offsets output %q", got)
+	}
+
+	// -queries FILE with comments and blank lines, combined after -e.
+	qfile := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(qfile, []byte("# comment\n$.b\n\n$..a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-count", "-queries", qfile, doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:1\n1:2" {
+		t.Fatalf("-queries count output %q", got)
+	}
+	out, err = exec.Command(bin, "-count", "-e", "$.a", "-queries", qfile, doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:1\n1:1\n2:2" {
+		t.Fatalf("-e + -queries count output %q", got)
+	}
+
+	// stdin mode.
+	cmd := exec.Command(bin, "-count", "-e", "$.a")
+	cmd.Stdin = strings.NewReader(`{"a": 1}`)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:1" {
+		t.Fatalf("stdin multi count %q", got)
+	}
+
+	// Unsupported combinations exit non-zero.
+	if err := exec.Command(bin, "-lines", "-e", "$.a", doc).Run(); err == nil {
+		t.Fatal("-lines with -e accepted")
+	}
+	if err := exec.Command(bin, "-engine", "dom", "-e", "$.a", doc).Run(); err == nil {
+		t.Fatal("-engine dom with -e accepted")
+	}
+	if err := exec.Command(bin, "-e", "$.a", doc, "extra").Run(); err == nil {
+		t.Fatal("extra positional arg with -e accepted")
+	}
+	if err := exec.Command(bin, "-queries", filepath.Join(t.TempDir(), "missing.txt"), doc).Run(); err == nil {
+		t.Fatal("missing query file accepted")
+	}
+}
+
+func TestCLIRsonbenchMultiQueryJSON(t *testing.T) {
+	bin := buildTool(t, "rsonbench")
+	dir := t.TempDir()
+
+	out, err := exec.Command(bin, "-exp", "multiquery", "-scale", "0.02", "-samples", "1", "-json", dir).Output()
+	if err != nil {
+		t.Fatalf("rsonbench multiquery: %v", err)
+	}
+	for _, want := range []string{"MQ2", "MQ8", "MQ32", "speedup"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("multiquery output missing %s:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_multiquery.json"))
+	if err != nil {
+		t.Fatalf("BENCH_multiquery.json not written: %v", err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("BENCH_multiquery.json is not valid JSON: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 workload records, got %d", len(results))
+	}
+	for _, r := range results {
+		for _, field := range []string{"id", "dataset", "n", "bytes", "matches",
+			"set_seconds", "set_gbps", "indep_seconds", "indep_gbps", "speedup"} {
+			if _, ok := r[field]; !ok {
+				t.Fatalf("record %v missing field %q", r["id"], field)
+			}
+		}
 	}
 }

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rsonpath/internal/bench"
@@ -21,10 +23,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, table2, table3, semantics, ablation, stackless, or all")
+		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, table2, table3, semantics, ablation, stackless, or all")
 		scale   = flag.Float64("scale", 1.0, "dataset size factor relative to DESIGN.md defaults")
 		samples = flag.Int("samples", 5, "timed samples per measurement")
 		seed    = flag.Int64("seed", 42, "dataset generation seed")
+		jsonDir = flag.String("json", "", "directory for machine-readable results (BENCH_<exp>.json)")
 	)
 	flag.Parse()
 
@@ -34,19 +37,34 @@ func main() {
 	h.Seed = *seed
 
 	for _, e := range strings.Split(*exp, ",") {
-		if err := run(h, e); err != nil {
+		if err := run(h, e, *jsonDir); err != nil {
 			fmt.Fprintln(os.Stderr, "rsonbench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(h *bench.Harness, exp string) error {
+// writeJSON dumps v as DIR/BENCH_<name>.json when -json is set.
+func writeJSON(dir, name string, v any) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
+}
+
+func run(h *bench.Harness, exp, jsonDir string) error {
 	w := os.Stdout
 	switch exp {
 	case "all":
-		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "grid"} {
-			if err := run(h, e); err != nil {
+		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "multiquery", "grid"} {
+			if err := run(h, e, jsonDir); err != nil {
 				return err
 			}
 		}
@@ -135,6 +153,15 @@ func run(h *bench.Harness, exp string) error {
 		}
 		bench.RenderAblation(w, results)
 		return nil
+
+	case "multiquery":
+		fmt.Fprintln(w, "== Multi-query: one-pass QuerySet vs N independent runs ==")
+		results, err := h.RunMultiQuery(bench.MultiSpecs)
+		if err != nil {
+			return err
+		}
+		bench.RenderMultiQuery(w, results)
+		return writeJSON(jsonDir, "multiquery", results)
 
 	case "grid":
 		fmt.Fprintln(w, "== Appendix C: full result grid ==")

@@ -1,9 +1,10 @@
-// Command rsonpath runs a JSONPath query over a JSON document (a file or
-// standard input) and prints the matched values, offsets, or a count.
+// Command rsonpath runs JSONPath queries over a JSON document (a file or
+// standard input) and prints the matched values, offsets, or counts.
 //
 // Usage:
 //
 //	rsonpath [flags] <query> [file]
+//	rsonpath [flags] -e <query> [-e <query>...] [-queries file] [file]
 //
 // Examples:
 //
@@ -11,6 +12,12 @@
 //	rsonpath -count '$.products[*].id' products.json
 //	cat doc.json | rsonpath -offsets '$..url'
 //	rsonpath -lines '$.event' log.jsonl     # newline-delimited JSON
+//	rsonpath -e '$..name' -e '$..id' products.json
+//	rsonpath -queries queries.txt -count products.json
+//
+// With -e or -queries the queries are compiled into a QuerySet and the
+// document is scanned once for all of them; every output line is prefixed
+// with the zero-based index of the query it belongs to ("2:...").
 package main
 
 import (
@@ -19,23 +26,56 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"rsonpath"
 )
 
+// queryList collects repeated -e flags.
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, ", ") }
+
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
 func main() {
+	var exprs queryList
 	var (
 		count   = flag.Bool("count", false, "print only the number of matches")
 		offsets = flag.Bool("offsets", false, "print byte offsets instead of values")
 		engine  = flag.String("engine", "rsonpath", "engine: rsonpath, surfer, ski, or dom")
 		lines   = flag.Bool("lines", false, "treat input as newline-delimited JSON records")
+		qfile   = flag.String("queries", "", "file with one query per line (# comments); combined after -e queries")
 	)
+	flag.Var(&exprs, "e", "query expression (repeatable; scans the document once for all queries)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rsonpath [flags] <query> [file]\n")
+		fmt.Fprintf(os.Stderr, "       rsonpath [flags] -e <query> [-e <query>...] [-queries file] [file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() < 1 || flag.NArg() > 2 {
+
+	queries := []string(exprs)
+	if *qfile != "" {
+		fromFile, err := readQueryFile(*qfile)
+		if err != nil {
+			fatal(err)
+		}
+		queries = append(queries, fromFile...)
+	}
+	multi := len(queries) > 0
+
+	var file string
+	switch {
+	case multi && flag.NArg() <= 1:
+		file = flag.Arg(0)
+	case !multi && flag.NArg() >= 1 && flag.NArg() <= 2:
+		queries = []string{flag.Arg(0)}
+		file = flag.Arg(1)
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -44,14 +84,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	q, err := rsonpath.Compile(flag.Arg(0), rsonpath.WithEngine(kind))
-	if err != nil {
-		fatal(err)
-	}
 
 	var in io.Reader = os.Stdin
-	if flag.NArg() == 2 {
-		f, err := os.Open(flag.Arg(1))
+	if file != "" {
+		f, err := os.Open(file)
 		if err != nil {
 			fatal(err)
 		}
@@ -61,6 +97,25 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+
+	if multi {
+		if *lines {
+			fatal(fmt.Errorf("multiple queries are not supported with -lines"))
+		}
+		set, err := rsonpath.CompileSet(queries, rsonpath.WithEngine(kind))
+		if err != nil {
+			fatal(err)
+		}
+		if err := runSet(set, in, out, *count, *offsets); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	q, err := rsonpath.Compile(queries[0], rsonpath.WithEngine(kind))
+	if err != nil {
+		fatal(err)
+	}
 
 	if *lines {
 		if err := runLines(q, in, out, *count, *offsets); err != nil {
@@ -109,6 +164,76 @@ func main() {
 			fatal(runErr)
 		}
 	}
+}
+
+// runSet evaluates a QuerySet in one pass, tagging every output line with
+// the query's index.
+func runSet(set *rsonpath.QuerySet, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	switch {
+	case count:
+		counts, err := set.Counts(data)
+		if err != nil {
+			return err
+		}
+		for i, n := range counts {
+			fmt.Fprintf(out, "%d:%d\n", i, n)
+		}
+	case offsets:
+		if err := set.Run(data, func(q, pos int) {
+			fmt.Fprintf(out, "%d:%d\n", q, pos)
+		}); err != nil {
+			return err
+		}
+	default:
+		var runErr error
+		err := set.Run(data, func(q, pos int) {
+			if runErr != nil {
+				return
+			}
+			v, err := rsonpath.ValueAt(data, pos)
+			if err != nil {
+				runErr = err
+				return
+			}
+			fmt.Fprintf(out, "%d:", q)
+			out.Write(v)
+			out.WriteByte('\n')
+		})
+		if err != nil {
+			return err
+		}
+		if runErr != nil {
+			return runErr
+		}
+	}
+	return nil
+}
+
+// readQueryFile loads one query per line, skipping blank lines and
+// #-comments.
+func readQueryFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var queries []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		queries = append(queries, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return queries, nil
 }
 
 // runLines streams newline-delimited records with bounded memory.

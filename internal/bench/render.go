@@ -114,6 +114,17 @@ func RenderAblation(w io.Writer, results []Result) {
 	fmt.Fprintln(w)
 }
 
+// RenderMultiQuery prints the QuerySet-vs-independent-runs comparison.
+func RenderMultiQuery(w io.Writer, results []MultiResult) {
+	fmt.Fprintf(w, "%-6s %-10s %4s %10s %12s %12s %9s\n",
+		"id", "dataset", "N", "matches", "set GB/s", "indep GB/s", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-6s %-10s %4d %10d %12.3f %12.3f %8.2fx\n",
+			r.ID, r.Dataset, r.N, r.Matches, r.SetGBps, r.IndepGBps, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}
+
 // SemanticsDoc is the Appendix D example document (values shortened as in
 // the paper).
 const SemanticsDoc = `{

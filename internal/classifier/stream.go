@@ -1,6 +1,20 @@
 package classifier
 
-import "rsonpath/internal/simd"
+import (
+	"sync/atomic"
+
+	"rsonpath/internal/simd"
+)
+
+// passes counts Stream constructions since process start. One Stream is one
+// classification pass over (a suffix of) a document, so the counter lets
+// tests assert pass-sharing properties — in particular that the multi-query
+// driver classifies a document exactly once however many queries it runs.
+var passes atomic.Int64
+
+// Passes returns the total number of classification passes started since
+// process start. Tests take deltas around the code under scrutiny.
+func Passes() int64 { return passes.Load() }
 
 // Stream drives block-by-block classification of one input document. It is
 // the concrete embodiment of the paper's multi-classifier pipeline core
@@ -27,6 +41,7 @@ type Stream struct {
 
 // NewStream creates a stream over data and classifies the first block.
 func NewStream(data []byte) *Stream {
+	passes.Add(1)
 	s := &Stream{data: data}
 	s.loadBlock()
 	return s

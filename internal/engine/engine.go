@@ -154,7 +154,7 @@ func (r *run) errMalformed(pos int, why string) error {
 
 // document dispatches on the root value and the head-skip eligibility.
 func (r *run) document() error {
-	rootPos := firstNonWS(r.data, 0)
+	rootPos := FirstNonWS(r.data, 0)
 	if rootPos == len(r.data) {
 		return r.errMalformed(0, "empty input")
 	}
@@ -194,7 +194,7 @@ func (r *run) headSkipLoop() error {
 		if c != '{' && c != '[' {
 			// Leaf value: resume seeking after it (the seeker requires a
 			// resumption point outside any string).
-			from = leafEnd(r.data, valueAt)
+			from = LeafEnd(r.data, valueAt)
 			continue
 		}
 		if r.dfa.States[target].Rejecting {
@@ -272,7 +272,7 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 		}
 		switch ch {
 		case '{', '[':
-			label, hasLabel, lok := labelBefore(r.data, pos)
+			label, hasLabel, lok := LabelBefore(r.data, pos)
 			if !lok {
 				return 0, r.errMalformed(pos, "cannot locate label")
 			}
@@ -348,14 +348,14 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 			if _, nch, ok := r.iter.Peek(); ok && (nch == '{' || nch == '[') {
 				continue // composite value: handled by its Opening event
 			}
-			label, hasLabel, lok := labelBefore(r.data, pos+1)
+			label, hasLabel, lok := LabelBefore(r.data, pos+1)
 			if !lok || !hasLabel {
 				return 0, r.errMalformed(pos, "colon without label")
 			}
 			target := r.dfa.Transition(state, label)
 			if r.dfa.States[target].Accepting {
-				vs := firstNonWS(r.data, pos+1)
-				if !plausibleValueStart(r.data, vs) {
+				vs := FirstNonWS(r.data, pos+1)
+				if !PlausibleValueStart(r.data, vs) {
 					return 0, r.errMalformed(pos, "missing value")
 				}
 				r.emit(vs)
@@ -383,8 +383,8 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 			}
 			target := r.arrayEntryTarget(state, r.currentIndex())
 			if r.dfa.States[target].Accepting {
-				vs := firstNonWS(r.data, pos+1)
-				if !plausibleValueStart(r.data, vs) {
+				vs := FirstNonWS(r.data, pos+1)
+				if !PlausibleValueStart(r.data, vs) {
 					continue // trailing comma or truncation: nothing to report
 				}
 				r.emit(vs)
@@ -417,7 +417,7 @@ func (r *run) tailStep(state automaton.StateID, depth int) (newState automaton.S
 			if r.dfa.States[target].Accepting {
 				r.emit(ev.ValueAt)
 			}
-			r.iter.Reset(leafEnd(r.data, ev.ValueAt))
+			r.iter.Reset(LeafEnd(r.data, ev.ValueAt))
 			return state, atDepth, false, nil
 		}
 		if r.dfa.States[target].Rejecting {
@@ -495,115 +495,13 @@ func (r *run) tryMatchFirstItem(state automaton.StateID, openPos int) {
 	if _, nch, ok := r.iter.Peek(); !ok || nch == '{' || nch == '[' {
 		return // composite first entry (or malformed): Opening handles it
 	}
-	vs := firstNonWS(r.data, openPos+1)
-	if !plausibleValueStart(r.data, vs) {
+	vs := FirstNonWS(r.data, openPos+1)
+	if !PlausibleValueStart(r.data, vs) {
 		return // empty array or malformed input
 	}
 	r.emit(vs)
 }
 
-// plausibleValueStart reports whether data[i] can begin a JSON value; it
-// guards emissions against truncated input and trailing commas.
-func plausibleValueStart(data []byte, i int) bool {
-	if i >= len(data) {
-		return false
-	}
-	switch data[i] {
-	case ',', ':', ']', '}':
-		return false
-	}
-	return true
-}
-
-// firstNonWS returns the first index at or after i with a non-whitespace
-// byte, or len(data).
-func firstNonWS(data []byte, i int) int {
-	for i < len(data) {
-		switch data[i] {
-		case ' ', '\t', '\n', '\r':
-			i++
-		default:
-			return i
-		}
-	}
-	return i
-}
-
-// labelBefore backtracks from the position of an opening character (or of
-// the byte just past a label's colon) to the label it belongs to (§3.4's
-// get_label()). It returns hasLabel=false for array entries (artificial
-// label) and ok=false when the document is malformed. The returned slice
-// aliases data and holds the raw key bytes, escapes included.
-func labelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
-	i := pos - 1
-	for i >= 0 && isWS(data[i]) {
-		i--
-	}
-	if i < 0 {
-		return nil, false, true // document root
-	}
-	switch data[i] {
-	case ',', '[':
-		return nil, false, true // array entry
-	case ':':
-		i--
-	default:
-		return nil, false, false
-	}
-	for i >= 0 && isWS(data[i]) {
-		i--
-	}
-	if i < 0 || data[i] != '"' {
-		return nil, false, false
-	}
-	closing := i
-	// Find the key's opening quote, skipping quotes that are escaped.
-	for {
-		i--
-		for i >= 0 && data[i] != '"' {
-			i--
-		}
-		if i < 0 {
-			return nil, false, false
-		}
-		// Count the backslashes immediately before the candidate quote.
-		bs := 0
-		for j := i - 1; j >= 0 && data[j] == '\\'; j-- {
-			bs++
-		}
-		if bs%2 == 0 {
-			return data[i+1 : closing], true, true
-		}
-	}
-}
-
-func isWS(b byte) bool {
-	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
-}
-
-// leafEnd returns the offset just past the atomic value starting at pos.
-func leafEnd(data []byte, pos int) int {
-	if data[pos] == '"' {
-		i := pos + 1
-		for i < len(data) {
-			switch data[i] {
-			case '"':
-				return i + 1
-			case '\\':
-				i += 2
-			default:
-				i++
-			}
-		}
-		return i
-	}
-	i := pos
-	for i < len(data) {
-		switch data[i] {
-		case ',', '}', ']', ' ', '\t', '\n', '\r':
-			return i
-		}
-		i++
-	}
-	return i
-}
+// The scalar scanning helpers (LabelBefore, FirstNonWS, LeafEnd,
+// PlausibleValueStart) shared with the stackless engine and the multi-query
+// driver live in scan.go.

@@ -1,0 +1,113 @@
+package engine
+
+// Scalar document-scanning helpers shared by the single-query run loop, the
+// stackless engine, and the multi-query driver (internal/multiquery). These
+// are the rare per-event scalar verifications the paper performs outside the
+// SIMD pipeline (§3.4): label backtracking, value-start plausibility, and
+// leaf delimitation.
+
+// PlausibleValueStart reports whether data[i] can begin a JSON value; it
+// guards emissions against truncated input and trailing commas.
+func PlausibleValueStart(data []byte, i int) bool {
+	if i >= len(data) {
+		return false
+	}
+	switch data[i] {
+	case ',', ':', ']', '}':
+		return false
+	}
+	return true
+}
+
+// FirstNonWS returns the first index at or after i with a non-whitespace
+// byte, or len(data).
+func FirstNonWS(data []byte, i int) int {
+	for i < len(data) {
+		switch data[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// LabelBefore backtracks from the position of an opening character (or of
+// the byte just past a label's colon) to the label it belongs to (§3.4's
+// get_label()). It returns hasLabel=false for array entries (artificial
+// label) and ok=false when the document is malformed. The returned slice
+// aliases data and holds the raw key bytes, escapes included.
+func LabelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
+	i := pos - 1
+	for i >= 0 && isWS(data[i]) {
+		i--
+	}
+	if i < 0 {
+		return nil, false, true // document root
+	}
+	switch data[i] {
+	case ',', '[':
+		return nil, false, true // array entry
+	case ':':
+		i--
+	default:
+		return nil, false, false
+	}
+	for i >= 0 && isWS(data[i]) {
+		i--
+	}
+	if i < 0 || data[i] != '"' {
+		return nil, false, false
+	}
+	closing := i
+	// Find the key's opening quote, skipping quotes that are escaped.
+	for {
+		i--
+		for i >= 0 && data[i] != '"' {
+			i--
+		}
+		if i < 0 {
+			return nil, false, false
+		}
+		// Count the backslashes immediately before the candidate quote.
+		bs := 0
+		for j := i - 1; j >= 0 && data[j] == '\\'; j-- {
+			bs++
+		}
+		if bs%2 == 0 {
+			return data[i+1 : closing], true, true
+		}
+	}
+}
+
+func isWS(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// LeafEnd returns the offset just past the atomic value starting at pos.
+func LeafEnd(data []byte, pos int) int {
+	if data[pos] == '"' {
+		i := pos + 1
+		for i < len(data) {
+			switch data[i] {
+			case '"':
+				return i + 1
+			case '\\':
+				i += 2
+			default:
+				i++
+			}
+		}
+		return i
+	}
+	i := pos
+	for i < len(data) {
+		switch data[i] {
+		case ',', '}', ']', ' ', '\t', '\n', '\r':
+			return i
+		}
+		i++
+	}
+	return i
+}

@@ -73,7 +73,7 @@ func (e *Stackless) Matches(data []byte) ([]int, error) {
 
 // Run streams the document once, reporting each match's value offset.
 func (e *Stackless) Run(data []byte, emit func(pos int)) error {
-	rootPos := firstNonWS(data, 0)
+	rootPos := FirstNonWS(data, 0)
 	if rootPos == len(data) {
 		return errMalformedAt(data, 0, "empty input")
 	}
@@ -99,7 +99,7 @@ func (e *Stackless) Run(data []byte, emit func(pos int)) error {
 		}
 		switch ch {
 		case '{', '[':
-			label, hasLabel, lok := labelBefore(data, pos)
+			label, hasLabel, lok := LabelBefore(data, pos)
 			if !lok {
 				return errMalformedAt(data, pos, "cannot locate label")
 			}
@@ -130,15 +130,15 @@ func (e *Stackless) Run(data []byte, emit func(pos int)) error {
 			if _, nch, ok := iter.Peek(); ok && (nch == '{' || nch == '[') {
 				continue // composite value: handled at its opening
 			}
-			label, hasLabel, lok := labelBefore(data, pos+1)
+			label, hasLabel, lok := LabelBefore(data, pos+1)
 			if !lok || !hasLabel {
 				return errMalformedAt(data, pos, "colon without label")
 			}
 			// Only enabled when state >= n: a leaf can complete the query
 			// but cannot host deeper matches.
 			if bytesEq(label, e.labels[n-1]) {
-				vs := firstNonWS(data, pos+1)
-				if !plausibleValueStart(data, vs) {
+				vs := FirstNonWS(data, pos+1)
+				if !PlausibleValueStart(data, vs) {
 					return errMalformedAt(data, pos, "missing value")
 				}
 				emit(vs)

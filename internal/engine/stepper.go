@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"rsonpath/internal/automaton"
+	"rsonpath/internal/depthstack"
+)
+
+// Stepper is one automaton simulation factored out of the run loop so it can
+// be driven by an external event source: the current DFA state plus the
+// sparse depth-stack of §3.2, advanced one structural event at a time.
+//
+// The single-query engine keeps its fused loop (run.subtree), which
+// specializes every skipping decision to one automaton; Stepper is the
+// building block for drivers that share one classification stream across
+// several automata (internal/multiquery), where skipping decisions are taken
+// collectively. The two implementations are kept in lockstep by the
+// differential compliance tests at the repository root.
+//
+// The event protocol mirrors run.subtree:
+//
+//   - an opening character: EventTarget to find the entered state (the
+//     caller decides collectively whether to skip the subtree), then
+//     EnterOpen to commit;
+//   - a closing character: CloseRestore with the post-decrement depth;
+//   - a colon or comma whose value is a leaf: EventTarget again — the state
+//     itself does not change on leaves, the caller only emits on acceptance.
+//
+// A Stepper is single-goroutine state; drivers allocate them per run.
+type Stepper struct {
+	dfa        *automaton.DFA
+	needsIndex bool
+	state      automaton.StateID
+	stack      depthstack.Stack
+}
+
+// Init prepares the stepper to scan a document from its automaton's initial
+// state. It may be called again to reuse the stepper on a new document.
+func (s *Stepper) Init(dfa *automaton.DFA) {
+	s.dfa = dfa
+	s.needsIndex = false
+	for i := range dfa.States {
+		if dfa.States[i].NeedsIndexInArray {
+			s.needsIndex = true
+		}
+	}
+	s.state = dfa.Initial
+	s.stack.Reset()
+}
+
+// State returns the current automaton state.
+func (s *Stepper) State() automaton.StateID { return s.state }
+
+// InitialAccepting reports whether the automaton accepts the document root.
+func (s *Stepper) InitialAccepting() bool {
+	return s.dfa.States[s.dfa.Initial].Accepting
+}
+
+// NeedsIndex reports whether the automaton has index transitions, requiring
+// array-entry counting.
+func (s *Stepper) NeedsIndex() bool { return s.needsIndex }
+
+// EventTarget returns the state reached by a child carrying the given label
+// (hasLabel true for object entries) or, for array entries, the given index.
+// It does not change the stepper's state: opening events commit with
+// EnterOpen, and leaf events never change state (§3.4 — only openings push).
+func (s *Stepper) EventTarget(label []byte, hasLabel bool, idx int) automaton.StateID {
+	if hasLabel {
+		return s.dfa.Transition(s.state, label)
+	}
+	if s.needsIndex {
+		return s.dfa.TransitionIndex(s.state, idx)
+	}
+	return s.dfa.TransitionFallback(s.state)
+}
+
+// Rejecting reports whether t is a rejecting (trash-trapped) state.
+func (s *Stepper) Rejecting(t automaton.StateID) bool {
+	return s.dfa.States[t].Rejecting
+}
+
+// Accepting reports whether t is an accepting state.
+func (s *Stepper) Accepting(t automaton.StateID) bool {
+	return s.dfa.States[t].Accepting
+}
+
+// Unitary reports whether the current state is unitary (one concrete-label
+// transition, rejecting fallback) — the precondition for sibling skipping.
+func (s *Stepper) Unitary() bool { return s.dfa.States[s.state].Unitary }
+
+// EnterOpen commits an opening event: target is the state returned by
+// EventTarget and depth the depth of the parent (pre-increment). A frame is
+// pushed only when the state changes (the sparse depth-stack invariant).
+// It reports whether the entered value itself matches.
+func (s *Stepper) EnterOpen(target automaton.StateID, depth int) (accepting bool) {
+	if target != s.state {
+		s.stack.Push(int(s.state), depth)
+		s.state = target
+	}
+	return s.dfa.States[target].Accepting
+}
+
+// CloseRestore commits a closing event at the given (post-decrement) depth,
+// popping the depth-stack when the closed element had changed the state. It
+// reports whether a matched unitary child just closed — the condition under
+// which the single-query engine skips the remaining siblings; collective
+// drivers skip only when every stepper reports true.
+func (s *Stepper) CloseRestore(depth int) (unitaryMatched bool) {
+	f, ok := s.stack.Top()
+	if !ok || f.Depth != depth {
+		return false
+	}
+	// Whether the child we just closed matched its entering transition:
+	// children entered in the trash state (because some other automaton in
+	// the set kept the region alive) must not trigger sibling skipping.
+	childMatched := !s.dfa.States[s.state].Rejecting
+	s.stack.Pop()
+	s.state = automaton.StateID(f.State)
+	return childMatched && s.dfa.States[s.state].Unitary
+}
+
+// Wants reports which leaf events the current state needs: colons (some
+// object child can be accepted in one step) and commas (some array entry can
+// be accepted, or entries must be counted for index transitions). Collective
+// drivers enable a symbol when any stepper wants it (§3.4's toggle, with the
+// union over the set).
+func (s *Stepper) Wants() (colons, commas bool) {
+	st := &s.dfa.States[s.state]
+	return st.CanAcceptInObject, st.CanAcceptInArray || st.NeedsIndexInArray
+}

@@ -24,10 +24,11 @@ func (p *Pipeline) MatchOffsets(data []byte) ([]int, error) {
 	if len(p.stages) == 0 {
 		return nil, nil
 	}
-	current := []int{0}
-	if pos := firstNonWS(data); pos < len(data) {
-		current = []int{pos}
+	pos := firstNonWS(data)
+	if pos == len(data) {
+		return nil, nil // empty or whitespace-only document: nothing to match
 	}
+	current := []int{pos}
 	for _, q := range p.stages {
 		var next []int
 		for _, base := range current {

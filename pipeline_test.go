@@ -163,3 +163,30 @@ func TestRunLinesLargeRecords(t *testing.T) {
 		t.Fatalf("count %d, want 4", n)
 	}
 }
+
+func TestPipelineEmptyAndWhitespaceDocuments(t *testing.T) {
+	p := NewPipeline(MustCompile("$.a"), MustCompile("$..b"))
+	for _, doc := range []string{"", "   ", "\n\t"} {
+		n, err := p.Count([]byte(doc))
+		if err != nil {
+			t.Errorf("Count(%q): %v", doc, err)
+		}
+		if n != 0 {
+			t.Errorf("Count(%q) = %d, want 0", doc, n)
+		}
+		offs, err := p.MatchOffsets([]byte(doc))
+		if err != nil {
+			t.Errorf("MatchOffsets(%q): %v", doc, err)
+		}
+		if len(offs) != 0 {
+			t.Errorf("MatchOffsets(%q) = %v, want none", doc, offs)
+		}
+		vals, err := p.MatchValues([]byte(doc))
+		if err != nil {
+			t.Errorf("MatchValues(%q): %v", doc, err)
+		}
+		if len(vals) != 0 {
+			t.Errorf("MatchValues(%q) = %q, want none", doc, vals)
+		}
+	}
+}

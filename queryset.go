@@ -1,0 +1,105 @@
+package rsonpath
+
+import (
+	"errors"
+	"fmt"
+
+	"rsonpath/internal/automaton"
+	"rsonpath/internal/jsonpath"
+	"rsonpath/internal/multiquery"
+)
+
+// errSetEngine rejects QuerySet on engines other than the default: the
+// one-pass driver is built on the accelerated engine's classification
+// stream. Evaluate per-query with Compile for the baseline engines.
+var errSetEngine = errors.New("rsonpath: QuerySet requires EngineRsonpath")
+
+// QuerySet is a set of compiled JSONPath queries evaluated together in a
+// single pass over each document: the quote/structural/depth classification
+// stream — the dominant cost of a run — is computed once and shared by all
+// queries, each of which keeps its own automaton state. For a service
+// running many queries over the same document this replaces N classification
+// passes with one; see DESIGN.md for the shared-skipping design and for when
+// a loop of Query.Run is preferable.
+//
+// A QuerySet is immutable and safe for concurrent use.
+type QuerySet struct {
+	sources []string
+	set     *multiquery.Set
+}
+
+// CompileSet parses and compiles a set of JSONPath expressions for one-pass
+// evaluation. The only supported engine is EngineRsonpath (the default);
+// path semantics is not supported. An empty set is valid and matches
+// nothing.
+func CompileSet(queries []string, opts ...Option) (*QuerySet, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.kind != EngineRsonpath {
+		return nil, errSetEngine
+	}
+	if c.semantics == PathSemantics {
+		return nil, errPathSemantics
+	}
+	sources := append([]string(nil), queries...)
+	dfas := make([]*automaton.DFA, len(queries))
+	for i, src := range queries {
+		parsed, err := jsonpath.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("query %d (%s): %w", i, src, err)
+		}
+		dfas[i], err = automaton.Compile(parsed, automaton.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("query %d (%s): %w", i, src, err)
+		}
+	}
+	return &QuerySet{sources: sources, set: multiquery.New(dfas)}, nil
+}
+
+// MustCompileSet is CompileSet that panics on error, for fixed query sets.
+func MustCompileSet(queries []string, opts ...Option) *QuerySet {
+	s, err := CompileSet(queries, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of queries in the set.
+func (s *QuerySet) Len() int { return s.set.Len() }
+
+// Source returns the text of query i as passed to CompileSet.
+func (s *QuerySet) Source(i int) string { return s.sources[i] }
+
+// Run scans the document once, calling emit with the query index and the
+// byte offset of the first character of every matched value. Matches arrive
+// in document order; matches of different queries at the same offset arrive
+// in query order. Empty and whitespace-only documents yield zero matches
+// and a nil error.
+func (s *QuerySet) Run(data []byte, emit func(query, pos int)) error {
+	return s.set.Run(data, emit)
+}
+
+// Counts returns the number of matches of each query, indexed like the
+// queries passed to CompileSet.
+func (s *QuerySet) Counts(data []byte) ([]int, error) {
+	counts := make([]int, s.set.Len())
+	err := s.set.Run(data, func(q, _ int) { counts[q]++ })
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// MatchOffsets returns the byte offsets of every query's matched values,
+// indexed like the queries passed to CompileSet.
+func (s *QuerySet) MatchOffsets(data []byte) ([][]int, error) {
+	out := make([][]int, s.set.Len())
+	err := s.set.Run(data, func(q, pos int) { out[q] = append(out[q], pos) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

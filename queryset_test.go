@@ -1,0 +1,147 @@
+package rsonpath
+
+import (
+	"fmt"
+	"testing"
+
+	"rsonpath/internal/classifier"
+)
+
+// corpusQueriesAndDocs collects the distinct queries and documents of the
+// full compliance corpus (base and slice cases).
+func corpusQueriesAndDocs() (queries []string, docs []string) {
+	seenQ := map[string]bool{}
+	seenD := map[string]bool{}
+	for _, cases := range [][]complianceCase{complianceCases, sliceComplianceCases} {
+		for _, c := range cases {
+			if !seenQ[c.query] {
+				seenQ[c.query] = true
+				queries = append(queries, c.query)
+			}
+			if !seenD[c.doc] {
+				seenD[c.doc] = true
+				docs = append(docs, c.doc)
+			}
+		}
+	}
+	return queries, docs
+}
+
+// TestQuerySetDifferentialCompliance runs the whole compliance corpus's
+// query set in one pass over every corpus document and requires
+// byte-identical per-query match offsets against individual runs on both
+// the accelerated engine and the DOM oracle.
+func TestQuerySetDifferentialCompliance(t *testing.T) {
+	queries, docs := corpusQueriesAndDocs()
+	set, err := CompileSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs {
+		data := []byte(doc)
+		got, err := set.MatchOffsets(data)
+		if err != nil {
+			t.Fatalf("set run on %s: %v", doc, err)
+		}
+		for i, src := range queries {
+			for _, kind := range []EngineKind{EngineRsonpath, EngineDOM} {
+				q, err := Compile(src, WithEngine(kind))
+				if err != nil {
+					t.Fatalf("[%v] compile %s: %v", kind, src, err)
+				}
+				want, err := q.MatchOffsets(data)
+				if err != nil {
+					t.Fatalf("[%v] %s on %s: %v", kind, src, doc, err)
+				}
+				if fmt.Sprint(got[i]) != fmt.Sprint(want) {
+					t.Errorf("[%v] %s on %s:\n  set        %v\n  individual %v",
+						kind, src, doc, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuerySetOneClassificationPass asserts the core property of the
+// subsystem: however many queries the set holds, Run classifies the
+// document exactly once, where N independent runs classify it N times.
+func TestQuerySetOneClassificationPass(t *testing.T) {
+	queries := []string{"$..a", "$.b.*", "$..c..d", "$.b[0]"}
+	doc := []byte(`{"a": [1, {"c": {"d": 2}}], "b": [3, {"a": 4}], "c": {"d": 5}}`)
+
+	set := MustCompileSet(queries)
+	before := classifier.Passes()
+	if _, err := set.Counts(doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := classifier.Passes() - before; got != 1 {
+		t.Errorf("QuerySet.Run: %d classification passes, want 1", got)
+	}
+
+	before = classifier.Passes()
+	for _, src := range queries {
+		if _, err := MustCompile(src).Count(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := classifier.Passes() - before; got != int64(len(queries)) {
+		t.Errorf("independent runs: %d classification passes, want %d", got, len(queries))
+	}
+}
+
+func TestQuerySetAPI(t *testing.T) {
+	doc := []byte(`{"a": 1, "b": {"a": 2}}`)
+	set := MustCompileSet([]string{"$..a", "$.b"})
+	if set.Len() != 2 {
+		t.Fatalf("Len = %d", set.Len())
+	}
+	if set.Source(0) != "$..a" || set.Source(1) != "$.b" {
+		t.Fatalf("sources %q %q", set.Source(0), set.Source(1))
+	}
+	counts, err := set.Counts(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(counts) != "[2 1]" {
+		t.Fatalf("counts %v", counts)
+	}
+
+	// Duplicate queries are independent set members.
+	dup := MustCompileSet([]string{"$..a", "$..a"})
+	offs, err := dup.MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(offs[0]) != fmt.Sprint(offs[1]) {
+		t.Fatalf("duplicate queries disagree: %v", offs)
+	}
+
+	// Empty and whitespace-only documents: zero matches, nil error.
+	for _, empty := range []string{"", "   ", "\n\t"} {
+		counts, err := set.Counts([]byte(empty))
+		if err != nil {
+			t.Errorf("doc %q: %v", empty, err)
+		}
+		if fmt.Sprint(counts) != "[0 0]" {
+			t.Errorf("doc %q: counts %v", empty, counts)
+		}
+	}
+
+	// Empty set.
+	none := MustCompileSet(nil)
+	if counts, err := none.Counts(doc); err != nil || len(counts) != 0 {
+		t.Fatalf("empty set: %v %v", counts, err)
+	}
+}
+
+func TestQuerySetCompileErrors(t *testing.T) {
+	if _, err := CompileSet([]string{"$..a", "not a query"}); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := CompileSet([]string{"$.a"}, WithEngine(EngineDOM)); err == nil {
+		t.Error("non-default engine accepted")
+	}
+	if _, err := CompileSet([]string{"$.a"}, WithSemantics(PathSemantics)); err == nil {
+		t.Error("path semantics accepted")
+	}
+}

@@ -202,26 +202,42 @@ func (q *Query) MatchOffsets(data []byte) ([]int, error) {
 	return out, err
 }
 
+// stopRun aborts a Query.Run from inside its emit callback; the panic is
+// recovered by the caller that armed it. The engines keep no state across
+// Run calls, so abandoning a run mid-flight is safe.
+type stopRun struct{}
+
 // MatchValues returns the raw bytes of every matched value. The returned
-// slices alias data.
-func (q *Query) MatchValues(data []byte) ([][]byte, error) {
-	var out [][]byte
+// slices alias data. On the first extraction failure the scan is abandoned:
+// the values extracted so far are returned together with the extraction
+// error (a truncated match means the document cannot be trusted beyond it,
+// and scanning the remainder would be pure waste).
+func (q *Query) MatchValues(data []byte) (out [][]byte, err error) {
 	var extractErr error
-	err := q.run.Run(data, func(pos int) {
-		if extractErr != nil {
-			return
-		}
-		v, err := ValueAt(data, pos)
-		if err != nil {
-			extractErr = err
-			return
-		}
-		out = append(out, v)
-	})
-	if err != nil {
-		return nil, err
+	runErr := func() error {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopRun); !ok {
+					panic(r)
+				}
+			}
+		}()
+		return q.run.Run(data, func(pos int) {
+			v, err := ValueAt(data, pos)
+			if err != nil {
+				extractErr = err
+				panic(stopRun{})
+			}
+			out = append(out, v)
+		})
+	}()
+	if extractErr != nil {
+		return out, extractErr
 	}
-	return out, extractErr
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
 }
 
 // CountReader reads the whole stream and counts matches. Like the original

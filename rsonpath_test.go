@@ -52,6 +52,34 @@ func TestMatchValuesComposite(t *testing.T) {
 	}
 }
 
+func TestMatchValuesTruncatedShortCircuits(t *testing.T) {
+	// The matched value `[1}` never closes its bracket, so extraction fails;
+	// the run must be abandoned there instead of scanning on to the
+	// document's own malformed end (which would mask the extraction error
+	// with the engine's).
+	doc := []byte(`{"a": [1}`)
+	vals, err := MustCompile("$.a").MatchValues(doc)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncated-value error", err)
+	}
+	if len(vals) != 0 {
+		t.Fatalf("values = %q", vals)
+	}
+}
+
+func TestMatchValuesTruncatedKeepsEarlierValues(t *testing.T) {
+	// The first match extracts fine; the second is truncated. The values
+	// collected before the failure are returned with the error.
+	doc := []byte(`{"a": 1, "b": {"a": [2`)
+	vals, err := MustCompile("$..a").MatchValues(doc)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncated-value error", err)
+	}
+	if len(vals) != 1 || string(vals[0]) != "1" {
+		t.Fatalf("values = %q", vals)
+	}
+}
+
 func TestMatchOffsetsOrdered(t *testing.T) {
 	q := MustCompile("$..price")
 	offs, err := q.MatchOffsets([]byte(sampleDoc))
