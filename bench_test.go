@@ -8,6 +8,7 @@ package rsonpath_test
 // MB/s columns correspond to the paper's GB/s figures.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -261,6 +262,40 @@ func BenchmarkMultiQuery(b *testing.B) {
 					if _, err := q.Count(data); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreaming measures what the buffered input costs relative to
+// the borrowed (in-memory) input on the same documents and queries: the
+// borrowed runs go through Count (zero-copy BytesInput), the buffered runs
+// re-read the same bytes through an io.Reader with the default window.
+func BenchmarkStreaming(b *testing.B) {
+	for _, id := range []string{"B1", "W2", "C1"} {
+		spec, ok := bench.SpecByID(id)
+		if !ok {
+			b.Fatalf("unknown spec %s", id)
+		}
+		data, err := benchHarness.Dataset(spec.Dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := rsonpath.MustCompile(spec.Query)
+		b.Run(id+"/borrowed", func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Count(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(id+"/buffered", func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := q.CountReader(bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -66,6 +66,28 @@ func TestCLIRsonpath(t *testing.T) {
 		t.Fatalf("stdin output %q", out)
 	}
 
+	// "-" names stdin explicitly (streamed, never buffered whole).
+	cmd = exec.Command(bin, "$..url", "-")
+	cmd.Stdin = strings.NewReader(`{"a": {"url": "x"}, "b": [{"url": "y"}]}`)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "\"x\"\n\"y\"" {
+		t.Fatalf("dash stdin output %q", got)
+	}
+
+	// DOM cannot stream; the CLI must fall back to buffering, not fail.
+	cmd = exec.Command(bin, "-engine", "dom", "-count", "$..url", "-")
+	cmd.Stdin = strings.NewReader(`{"url": 1}`)
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "1" {
+		t.Fatalf("dom dash stdin output %q", out)
+	}
+
 	// Errors exit non-zero.
 	if err := exec.Command(bin, "not-a-query", doc).Run(); err == nil {
 		t.Fatal("bad query accepted")

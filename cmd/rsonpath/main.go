@@ -11,6 +11,7 @@
 //	rsonpath '$..user.name' tweets.json
 //	rsonpath -count '$.products[*].id' products.json
 //	cat doc.json | rsonpath -offsets '$..url'
+//	cat huge.json | rsonpath -count '$..id' -    # explicit stdin, streamed
 //	rsonpath -lines '$.event' log.jsonl     # newline-delimited JSON
 //	rsonpath -e '$..name' -e '$..id' products.json
 //	rsonpath -queries queries.txt -count products.json
@@ -86,7 +87,7 @@ func main() {
 	}
 
 	var in io.Reader = os.Stdin
-	if file != "" {
+	if file != "" && file != "-" {
 		f, err := os.Open(file)
 		if err != nil {
 			fatal(err)
@@ -124,21 +125,58 @@ func main() {
 		return
 	}
 
-	data, err := io.ReadAll(in)
-	if err != nil {
-		fatal(err)
-	}
-	switch {
-	case *count:
-		n, err := q.Count(data)
-		if err != nil {
+	if kind == rsonpath.EngineDOM {
+		if err := runOneBuffered(q, in, out, *count, *offsets); err != nil {
 			fatal(err)
 		}
+		return
+	}
+	if err := runOne(q, in, out, *count, *offsets); err != nil {
+		fatal(err)
+	}
+}
+
+// runOne streams the document through the query with memory bounded by the
+// stream window, whatever the document size.
+func runOne(q *rsonpath.Query, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+	switch {
+	case count:
+		n, err := q.CountReader(in)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, n)
-	case *offsets:
+		return nil
+	case offsets:
+		return q.RunReader(in, func(pos int) {
+			fmt.Fprintln(out, pos)
+		})
+	default:
+		return q.RunReaderValues(in, func(_ int, v []byte) {
+			out.Write(v)
+			out.WriteByte('\n')
+		})
+	}
+}
+
+// runOneBuffered reads the whole document first — the only mode EngineDOM
+// supports.
+func runOneBuffered(q *rsonpath.Query, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	switch {
+	case count:
+		n, err := q.Count(data)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, n)
+	case offsets:
 		offs, err := q.MatchOffsets(data)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, o := range offs {
 			fmt.Fprintln(out, o)
@@ -158,39 +196,42 @@ func main() {
 			out.WriteByte('\n')
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if runErr != nil {
-			fatal(runErr)
+			return runErr
 		}
 	}
+	return nil
 }
 
 // runSet evaluates a QuerySet in one pass, tagging every output line with
-// the query's index.
+// the query's index. Counts and offsets stream with bounded memory; value
+// output buffers the document, since extraction needs to revisit matches
+// after the shared pass has moved on.
 func runSet(set *rsonpath.QuerySet, in io.Reader, out *bufio.Writer, count, offsets bool) error {
-	data, err := io.ReadAll(in)
-	if err != nil {
-		return err
-	}
 	switch {
 	case count:
-		counts, err := set.Counts(data)
-		if err != nil {
+		counts := make([]int, set.Len())
+		if err := set.RunReader(in, func(q, _ int) { counts[q]++ }); err != nil {
 			return err
 		}
 		for i, n := range counts {
 			fmt.Fprintf(out, "%d:%d\n", i, n)
 		}
 	case offsets:
-		if err := set.Run(data, func(q, pos int) {
+		if err := set.RunReader(in, func(q, pos int) {
 			fmt.Fprintf(out, "%d:%d\n", q, pos)
 		}); err != nil {
 			return err
 		}
 	default:
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return err
+		}
 		var runErr error
-		err := set.Run(data, func(q, pos int) {
+		err = set.Run(data, func(q, pos int) {
 			if runErr != nil {
 				return
 			}

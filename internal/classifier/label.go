@@ -3,6 +3,7 @@ package classifier
 import (
 	"bytes"
 
+	"rsonpath/internal/input"
 	"rsonpath/internal/simd"
 )
 
@@ -25,6 +26,11 @@ import (
 // Parity over a backslash-free gap is one vectorised bytes.Count; gaps with
 // backslashes fall back to a scalar scan.
 //
+// Over a window-bounded input the search proceeds in window-sized chunks,
+// carrying the quote parity (and a trailing-escape flag) across chunk
+// boundaries; chunks overlap by len(pattern)-1 bytes so a pattern
+// straddling a boundary is still found.
+//
 // ok is false when no further occurrence exists.
 func SeekLabel(s *Stream, from int, label []byte) (keyAt, valueAt int, ok bool) {
 	pattern := make([]byte, 0, len(label)+2)
@@ -37,54 +43,107 @@ func SeekLabel(s *Stream, from int, label []byte) (keyAt, valueAt int, ok bool) 
 // SeekLabelPattern is SeekLabel with the quoted pattern precomputed by the
 // caller (the engine reuses it across the whole head-skip loop).
 func SeekLabelPattern(s *Stream, from int, label, pattern []byte) (keyAt, valueAt int, ok bool) {
-	data := s.Data()
-	pos := from
-	inString := false
-	for pos <= len(data) {
-		i := bytes.Index(data[pos:], pattern)
-		if i < 0 {
+	in := s.Input()
+	chunkSize := in.Window()
+	if chunkSize != 0 {
+		// Request half the window per chunk, not all of it: the slack left
+		// in the input's buffer lets consecutive chunks (and the engine's
+		// resumed scans after a match) advance without forcing a slide per
+		// request, keeping the memmove cost amortized.
+		chunkSize /= 2
+		if chunkSize < 2*len(pattern)+simd.BlockSize {
+			// The overlap must leave room to make progress; oversized
+			// requests beyond the input's capacity fail as window
+			// violations, which is the documented outcome for labels that
+			// defeat the window.
+			chunkSize = 2*len(pattern) + simd.BlockSize
+		}
+	}
+	pos := from       // absolute start of the unsearched region
+	inString := false // quote state at pos
+	escaped := false  // whether the byte at pos is escaped
+	for {
+		var hi int
+		if chunkSize == 0 {
+			hi = in.Len() // in-memory input: one chunk covers the rest
+		} else {
+			hi = pos + chunkSize
+		}
+		buf := in.Bytes(pos, hi)
+		final := chunkSize == 0 || len(buf) < hi-pos
+		cur := 0 // relative offset the quote state is valid at
+		for {
+			i := bytes.Index(buf[cur:], pattern)
+			if i < 0 {
+				break
+			}
+			ci := cur + i
+			cand := pos + ci
+			gap := buf[cur:ci]
+			candEscaped := false
+			if !escaped && bytes.IndexByte(gap, '\\') < 0 {
+				if bytes.Count(gap, pattern[:1])&1 == 1 {
+					inString = !inString
+				}
+			} else {
+				inString, candEscaped = advanceQuoteState(gap, inString, escaped)
+			}
+			escaped = false
+			switch {
+			case candEscaped:
+				// The candidate's quote is escaped: it is string content.
+				// The escape consumed the quote; the string continues.
+				cur = ci + 1
+			case inString:
+				// The candidate's first quote closes a string.
+				inString = false
+				cur = ci + 1
+			default:
+				// The candidate's first quote opens a string whose content
+				// begins with the label: verify closing quote and colon.
+				if vs, match := verifyKey(in, cand, label); match {
+					s.JumpTo(vs)
+					return cand, vs, true
+				}
+				// Not a key (value string, longer key, or escaped closing
+				// quote). Step inside the string and resume; the parity
+				// logic disposes of the rest of it. Verification touched
+				// the input, which may have invalidated buf: refetch.
+				inString = true
+				pos += ci + 1
+				cur = -1
+			}
+			if cur < 0 {
+				break
+			}
+		}
+		if cur < 0 {
+			continue // refetch after verification
+		}
+		if final {
 			return 0, 0, false
 		}
-		cand := pos + i
-		candEscaped := false
-		if gap := data[pos:cand]; bytes.IndexByte(gap, '\\') < 0 {
+		// Consume the chunk up to the overlap and carry the state forward.
+		next := len(buf) - (len(pattern) - 1)
+		if next < cur {
+			next = cur
+		}
+		if gap := buf[cur:next]; !escaped && bytes.IndexByte(gap, '\\') < 0 {
 			if bytes.Count(gap, pattern[:1])&1 == 1 {
 				inString = !inString
 			}
 		} else {
-			inString, candEscaped = advanceQuoteState(gap, inString)
+			inString, escaped = advanceQuoteState(gap, inString, escaped)
 		}
-		switch {
-		case candEscaped:
-			// The candidate's quote is escaped: it is string content.
-			// The escape consumed the quote; the string continues.
-			pos = cand + 1
-		case inString:
-			// The candidate's first quote closes a string.
-			inString = false
-			pos = cand + 1
-		default:
-			// The candidate's first quote opens a string whose content
-			// begins with the label: verify closing quote and colon.
-			if vs, match := verifyKey(data, cand, label); match {
-				s.JumpTo(vs)
-				return cand, vs, true
-			}
-			// Not a key (value string, longer key, or escaped closing
-			// quote). Step inside the string and resume; the parity logic
-			// disposes of the rest of it.
-			pos = cand + 1
-			inString = true
-		}
+		pos += next
 	}
-	return 0, 0, false
 }
 
 // advanceQuoteState runs the scalar quote automaton over gap, starting in
-// the given state, and reports the state after the gap plus whether the
-// byte immediately following the gap is escaped.
-func advanceQuoteState(gap []byte, inString bool) (after, nextEscaped bool) {
-	escaped := false
+// the given (inString, escaped) state, and reports the state after the gap:
+// the in-string parity plus whether the byte immediately following the gap
+// is escaped.
+func advanceQuoteState(gap []byte, inString, escaped bool) (after, nextEscaped bool) {
 	for _, b := range gap {
 		switch {
 		case escaped:
@@ -101,43 +160,51 @@ func advanceQuoteState(gap []byte, inString bool) (after, nextEscaped bool) {
 // verifyKey checks that the opening quote at q starts the string label,
 // immediately followed by an unescaped closing quote and then (after
 // whitespace) a colon. It returns the offset of the value's first byte.
-func verifyKey(data []byte, q int, label []byte) (valueAt int, ok bool) {
-	end := q + 1 + len(label)
-	if end >= len(data) || data[end] != '"' {
+func verifyKey(in input.Input, q int, label []byte) (valueAt int, ok bool) {
+	end := q + 1 + len(label) // the closing quote, if this is the key
+	got := in.Bytes(q+1, end+1)
+	if len(got) < len(label)+1 || got[len(label)] != '"' {
 		return 0, false
 	}
-	for i, c := range label {
-		if data[q+1+i] != c {
-			return 0, false
-		}
+	if !bytes.Equal(got[:len(label)], label) {
+		return 0, false
 	}
 	// The closing quote must not be escaped: count the backslashes directly
 	// before it. (Possible only when the label itself ends in backslashes.)
 	bs := 0
-	for i := end - 1; i > q && data[i] == '\\'; i-- {
+	for i := len(label) - 1; i >= 0 && got[i] == '\\'; i-- {
 		bs++
 	}
 	if bs%2 == 1 {
 		return 0, false
 	}
-	i := skipWhitespace(data, end+1)
-	if i >= len(data) || data[i] != ':' {
+	i := skipWhitespace(in, end+1)
+	if b, okb := in.ByteAt(i); !okb || b != ':' {
 		return 0, false
 	}
-	i = skipWhitespace(data, i+1)
-	if i >= len(data) {
+	i = skipWhitespace(in, i+1)
+	if _, okb := in.ByteAt(i); !okb {
 		return 0, false
 	}
 	return i, true
 }
 
-// skipWhitespace returns the first index at or after i holding a
-// non-whitespace byte (or len(data)).
-func skipWhitespace(data []byte, i int) int {
-	for i < len(data) && isWhitespace(data[i]) {
-		i++
+// skipWhitespace returns the first offset at or after i holding a
+// non-whitespace byte (or the document length), scanning in block-sized
+// chunks.
+func skipWhitespace(in input.Input, i int) int {
+	for {
+		chunk := in.Bytes(i, i+simd.BlockSize)
+		if len(chunk) == 0 {
+			return i
+		}
+		for j, b := range chunk {
+			if !isWhitespace(b) {
+				return i + j
+			}
+		}
+		i += len(chunk)
 	}
-	return i
 }
 
 func isWhitespace(b byte) bool {
@@ -150,43 +217,71 @@ func isWhitespace(b byte) bool {
 // from that anchor by scanning the at most BlockSize-1 bytes before pos.
 func (s *Stream) JumpTo(pos int) {
 	blockStart := pos - pos%simd.BlockSize
-	if blockStart == s.blockStart {
+	if blockStart == s.blockStart && !s.exhausted {
 		return
 	}
-	// The first byte of the block is escaped iff an odd backslash run ends
-	// just before it.
+	s.quotes = reconstructQuoteState(s.in, blockStart, pos)
+	s.blockStart = blockStart
+	s.exhausted = false
+	s.loadBlock()
+	if s.blockLen == 0 {
+		s.markExhausted()
+	}
+}
+
+// reconstructQuoteState derives the quote state at blockStart from an
+// anchor position pos (outside any string, not escaped) in the same block.
+// The first byte of the block is escaped iff an odd backslash run ends just
+// before it; the state at pos is "outside", and each unescaped quote
+// between the block start and pos flips it, so the block-start state is the
+// flip parity.
+func reconstructQuoteState(in input.Input, blockStart, pos int) quoteState {
 	var qs quoteState
-	if oddBackslashRunEndingAt(s.data, blockStart) {
+	if oddBackslashRunEndingAt(in, blockStart) {
 		qs.prevEscaped = 1
 	}
-	// The state at pos is "outside"; each unescaped quote between the block
-	// start and pos flips it, so the block-start state is the flip parity.
 	parity := false
 	escaped := qs.prevEscaped == 1
-	for i := blockStart; i < pos; i++ {
+	for _, b := range in.Bytes(blockStart, pos) {
 		switch {
 		case escaped:
 			escaped = false
-		case s.data[i] == '\\':
+		case b == '\\':
 			escaped = true
-		case s.data[i] == '"':
+		case b == '"':
 			parity = !parity
 		}
 	}
 	if parity {
 		qs.prevInString = ^uint64(0)
 	}
-	s.blockStart = blockStart
-	s.quotes = qs
-	s.loadBlock()
+	return qs
 }
 
 // oddBackslashRunEndingAt reports whether the backslash run ending directly
-// before pos has odd length.
-func oddBackslashRunEndingAt(data []byte, pos int) bool {
+// before pos has odd length, scanning backward in block-sized chunks. A run
+// extending past the input's retained look-behind is a window violation.
+func oddBackslashRunEndingAt(in input.Input, pos int) bool {
 	n := 0
-	for i := pos - 1; i >= 0 && data[i] == '\\'; i-- {
-		n++
+	i := pos
+	for i > 0 {
+		lo := i - simd.BlockSize
+		if r := in.Retained(); lo < r {
+			lo = r
+		}
+		if lo >= i {
+			input.Exceeded("backslash-run", i)
+		}
+		chunk := in.Bytes(lo, i)
+		j := len(chunk) - 1
+		for j >= 0 && chunk[j] == '\\' {
+			j--
+			n++
+		}
+		if j >= 0 {
+			break
+		}
+		i = lo
 	}
 	return n%2 == 1
 }

@@ -2,6 +2,7 @@ package classifier
 
 import (
 	"math/rand"
+	"rsonpath/internal/input"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func refSeekLabel(data []byte, from int, label []byte) (keyAt, valueAt int, ok b
 		if !quotes[q] || !inString[q] { // must be an opening quote
 			continue
 		}
-		if v, match := verifyKey(data, q, label); match {
+		if v, match := verifyKey(input.NewBytes(data), q, label); match {
 			return q, v, true
 		}
 	}

@@ -3,6 +3,7 @@ package classifier
 import (
 	"sync/atomic"
 
+	"rsonpath/internal/input"
 	"rsonpath/internal/simd"
 )
 
@@ -22,15 +23,17 @@ func Passes() int64 { return passes.Load() }
 // top-level classifier (structural or depth) is currently active, and its
 // state travels with the Stream when classifiers are switched.
 //
-// A Stream only moves forward. The current block's bytes and quote masks
-// are exposed to the structural classifier, the depth classifier and the
-// label seeker; each of them tracks its own within-block cursor.
+// A Stream only moves forward, pulling padded blocks from an input.Input —
+// zero-copy over in-memory documents, window-bounded over readers. The
+// current block's bytes and quote masks are exposed to the structural
+// classifier, the depth classifier and the label seeker; each of them
+// tracks its own within-block cursor.
 type Stream struct {
-	data       []byte
+	in         input.Input
 	blockStart int         // absolute offset of the current block
 	blockLen   int         // number of real (non-padding) bytes in the block
-	block      *simd.Block // points into data for full blocks (zero copy)
-	tail       simd.Block  // padded storage for the final partial block
+	block      *simd.Block // the current padded block (owned by the input)
+	exhausted  bool
 
 	quotes     quoteState // state at the start of the current block
 	postQuotes quoteState // state at the end of the current block
@@ -39,64 +42,91 @@ type Stream struct {
 	inString  uint64 // in-string positions in the current block
 }
 
-// NewStream creates a stream over data and classifies the first block.
+// NewStream creates a stream over an in-memory document and classifies the
+// first block.
 func NewStream(data []byte) *Stream {
+	return NewStreamInput(input.NewBytes(data))
+}
+
+// NewStreamInput creates a stream over in and classifies the first block.
+func NewStreamInput(in input.Input) *Stream {
 	passes.Add(1)
-	s := &Stream{data: data}
+	s := &Stream{in: in}
 	s.loadBlock()
 	return s
 }
 
+// NewStreamAt creates a stream positioned on the block containing pos, with
+// the quote state reconstructed from pos as an anchor. pos must lie outside
+// any string and not be escaped (true for every value boundary), and the
+// bytes shortly before pos must still be retained by the input.
+func NewStreamAt(in input.Input, pos int) *Stream {
+	passes.Add(1)
+	s := &Stream{in: in}
+	s.blockStart = pos - pos%simd.BlockSize
+	s.quotes = reconstructQuoteState(in, s.blockStart, pos)
+	s.loadBlock()
+	if s.blockLen == 0 {
+		s.markExhausted()
+	}
+	return s
+}
+
+// Input returns the underlying input. Classifiers use it for the rare
+// scalar verifications (label backtracking, candidate checks) that the
+// paper performs outside the SIMD pipeline.
+func (s *Stream) Input() input.Input { return s.in }
+
+// loadBlock fetches and classifies the block at blockStart.
 func (s *Stream) loadBlock() {
-	if s.blockStart >= len(s.data) {
-		s.blockLen = 0
-		s.block = &s.tail
-		simd.LoadBlock(&s.tail, nil, ' ')
-		s.quoteMask, s.inString = 0, 0
-		s.postQuotes = s.quotes
-		return
-	}
-	if rest := s.data[s.blockStart:]; len(rest) >= simd.BlockSize {
-		// Full block: classify in place, no copy.
-		s.block = (*simd.Block)(rest)
-		s.blockLen = simd.BlockSize
-	} else {
-		s.blockLen = simd.LoadBlock(&s.tail, rest, ' ')
-		s.block = &s.tail
-	}
+	s.block, s.blockLen = s.in.Block(s.blockStart / simd.BlockSize)
 	qs := s.quotes
 	backslash, rawQuotes := simd.CmpEq8Pair(s.block, '\\', '"')
 	s.quoteMask, s.inString = qs.classifyMasks(backslash, rawQuotes)
 	s.postQuotes = qs
 }
 
+// markExhausted records the end of input. The document length is always
+// known by the time the end is observed.
+func (s *Stream) markExhausted() {
+	s.exhausted = true
+	if n := s.in.Len(); n >= 0 {
+		s.blockStart = n
+	}
+	s.blockLen = 0
+}
+
 // Advance moves to the next block. It reports false when the input is
-// exhausted.
+// exhausted; the current block's bytes stay valid (inputs double-buffer, so
+// probing the next block never invalidates the current one).
 func (s *Stream) Advance() bool {
-	if s.blockStart+simd.BlockSize >= len(s.data) {
-		s.blockStart = len(s.data)
-		s.blockLen = 0
+	if s.exhausted || s.blockLen < simd.BlockSize {
+		// A partial block is always the final one.
+		s.markExhausted()
+		return false
+	}
+	idx := s.blockStart/simd.BlockSize + 1
+	b, n := s.in.Block(idx)
+	if n == 0 {
+		s.markExhausted()
 		return false
 	}
 	s.blockStart += simd.BlockSize
+	s.blockLen = n
+	s.block = b
 	s.quotes = s.postQuotes
-	s.loadBlock()
+	qs := s.quotes
+	backslash, rawQuotes := simd.CmpEq8Pair(b, '\\', '"')
+	s.quoteMask, s.inString = qs.classifyMasks(backslash, rawQuotes)
+	s.postQuotes = qs
 	return true
 }
 
 // BlockStart returns the absolute offset of the current block.
 func (s *Stream) BlockStart() int { return s.blockStart }
 
-// Len returns the total input length.
-func (s *Stream) Len() int { return len(s.data) }
-
-// Data returns the underlying input. Classifiers use it for the rare
-// scalar verifications (label backtracking, candidate checks) that the
-// paper performs outside the SIMD pipeline.
-func (s *Stream) Data() []byte { return s.data }
-
 // Exhausted reports whether the current block is past the end of input.
-func (s *Stream) Exhausted() bool { return s.blockStart >= len(s.data) }
+func (s *Stream) Exhausted() bool { return s.exhausted || s.blockLen == 0 }
 
 // InString returns the in-string mask of the current block.
 func (s *Stream) InString() uint64 { return s.inString }

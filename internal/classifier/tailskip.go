@@ -56,7 +56,7 @@ type TailEvent struct {
 // key occurrence of label or the boundary closer, whichever comes first.
 // The stream is left on the block containing the event.
 func SeekLabelWithin(s *Stream, from int, label []byte, rel int) TailEvent {
-	data := s.Data()
+	in := s.Input()
 	// Bring the stream to the block containing from (sequentially, so the
 	// quote state stays exact).
 	for s.BlockStart()+simd.BlockSize <= from {
@@ -107,7 +107,7 @@ func SeekLabelWithin(s *Stream, from int, label []byte, rel int) TailEvent {
 					return TailEvent{Kind: TailClose, Pos: p}
 				}
 			default:
-				if vs, ok := verifyKey(data, p, label); ok {
+				if vs, ok := verifyKey(in, p, label); ok {
 					return TailEvent{Kind: TailKey, KeyAt: p, ValueAt: vs, DepthDelta: delta}
 				}
 				// Not the sought key: the string's contents (including any

@@ -3,6 +3,7 @@ package classifier
 import (
 	"fmt"
 	"math/rand"
+	"rsonpath/internal/input"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func refSeekWithin(data []byte, from int, label []byte, rel int) TailEvent {
 		if inString[i] {
 			if quotes[i] && i >= from {
 				// opening quote: candidate
-				if vs, ok := verifyKey(data, i, label); ok {
+				if vs, ok := verifyKey(input.NewBytes(data), i, label); ok {
 					return TailEvent{Kind: TailKey, KeyAt: i, ValueAt: vs, DepthDelta: delta}
 				}
 			}

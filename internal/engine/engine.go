@@ -28,6 +28,7 @@ import (
 	"rsonpath/internal/automaton"
 	"rsonpath/internal/classifier"
 	"rsonpath/internal/depthstack"
+	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
 
@@ -118,25 +119,34 @@ func (e *Engine) Matches(data []byte) ([]int, error) {
 	return out, err
 }
 
-// Run streams the document once, invoking emit with the byte offset of each
-// matched value's first character, in document order.
+// Run streams an in-memory document once, invoking emit with the byte
+// offset of each matched value's first character, in document order.
 func (e *Engine) Run(data []byte, emit func(pos int)) error {
-	r := &run{
-		e:      e,
-		dfa:    e.dfa,
-		data:   data,
-		stream: classifier.NewStream(data),
-		emit:   emit,
-	}
-	r.iter = classifier.NewStructural(r.stream, 0)
-	return r.document()
+	return e.RunInput(input.NewBytes(data), emit)
+}
+
+// RunInput is Run over any input source. Over a window-bounded input the
+// engine's memory stays bounded by the window; a document feature larger
+// than the window (a key, a whitespace run) surfaces as *input.Error.
+func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
+	return input.Guard(func() error {
+		r := &run{
+			e:      e,
+			dfa:    e.dfa,
+			in:     in,
+			stream: classifier.NewStreamInput(in),
+			emit:   emit,
+		}
+		r.iter = classifier.NewStructural(r.stream, 0)
+		return r.document()
+	})
 }
 
 // run is the per-document execution state.
 type run struct {
 	e      *Engine
 	dfa    *automaton.DFA
-	data   []byte
+	in     input.Input
 	stream *classifier.Stream
 	iter   *classifier.Structural
 	emit   func(int)
@@ -152,10 +162,20 @@ func (r *run) errMalformed(pos int, why string) error {
 	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, why, pos)
 }
 
+// endPos is the document length for end-of-input diagnostics; by the time
+// the end has been hit, every input knows its length.
+func (r *run) endPos() int {
+	if n := r.in.Len(); n >= 0 {
+		return n
+	}
+	return 0
+}
+
 // document dispatches on the root value and the head-skip eligibility.
 func (r *run) document() error {
-	rootPos := FirstNonWS(r.data, 0)
-	if rootPos == len(r.data) {
+	rootPos := FirstNonWS(r.in, 0)
+	c, ok := r.in.ByteAt(rootPos)
+	if !ok {
 		return r.errMalformed(0, "empty input")
 	}
 	init := r.dfa.Initial
@@ -165,7 +185,6 @@ func (r *run) document() error {
 	if r.e.headLabel != nil {
 		return r.headSkipLoop()
 	}
-	c := r.data[rootPos]
 	if c != '{' && c != '[' {
 		return nil // atomic root: nothing below it
 	}
@@ -190,11 +209,11 @@ func (r *run) headSkipLoop() error {
 		if accepting {
 			r.emit(valueAt)
 		}
-		c := r.data[valueAt]
+		c, _ := r.in.ByteAt(valueAt)
 		if c != '{' && c != '[' {
 			// Leaf value: resume seeking after it (the seeker requires a
 			// resumption point outside any string).
-			from = LeafEnd(r.data, valueAt)
+			from = LeafEnd(r.in, valueAt)
 			continue
 		}
 		if r.dfa.States[target].Rejecting {
@@ -268,11 +287,11 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 		}
 		pos, ch, ok := r.iter.Next()
 		if !ok {
-			return 0, r.errMalformed(len(r.data), "unterminated document")
+			return 0, r.errMalformed(r.endPos(), "unterminated document")
 		}
 		switch ch {
 		case '{', '[':
-			label, hasLabel, lok := LabelBefore(r.data, pos)
+			label, hasLabel, lok := LabelBefore(r.in, pos)
 			if !lok {
 				return 0, r.errMalformed(pos, "cannot locate label")
 			}
@@ -348,14 +367,14 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 			if _, nch, ok := r.iter.Peek(); ok && (nch == '{' || nch == '[') {
 				continue // composite value: handled by its Opening event
 			}
-			label, hasLabel, lok := LabelBefore(r.data, pos+1)
+			label, hasLabel, lok := LabelBefore(r.in, pos+1)
 			if !lok || !hasLabel {
 				return 0, r.errMalformed(pos, "colon without label")
 			}
 			target := r.dfa.Transition(state, label)
 			if r.dfa.States[target].Accepting {
-				vs := FirstNonWS(r.data, pos+1)
-				if !PlausibleValueStart(r.data, vs) {
+				vs := FirstNonWS(r.in, pos+1)
+				if !PlausibleValueStart(r.in, vs) {
 					return 0, r.errMalformed(pos, "missing value")
 				}
 				r.emit(vs)
@@ -383,8 +402,8 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 			}
 			target := r.arrayEntryTarget(state, r.currentIndex())
 			if r.dfa.States[target].Accepting {
-				vs := FirstNonWS(r.data, pos+1)
-				if !PlausibleValueStart(r.data, vs) {
+				vs := FirstNonWS(r.in, pos+1)
+				if !PlausibleValueStart(r.in, vs) {
 					continue // trailing comma or truncation: nothing to report
 				}
 				r.emit(vs)
@@ -411,13 +430,13 @@ func (r *run) tailStep(state automaton.StateID, depth int) (newState automaton.S
 	case classifier.TailKey:
 		target := st.Labels[0].Target
 		atDepth := depth + ev.DepthDelta
-		c := r.data[ev.ValueAt]
+		c, _ := r.in.ByteAt(ev.ValueAt)
 		if c != '{' && c != '[' {
 			// Leaf value: report if it matches and keep seeking after it.
 			if r.dfa.States[target].Accepting {
 				r.emit(ev.ValueAt)
 			}
-			r.iter.Reset(LeafEnd(r.data, ev.ValueAt))
+			r.iter.Reset(LeafEnd(r.in, ev.ValueAt))
 			return state, atDepth, false, nil
 		}
 		if r.dfa.States[target].Rejecting {
@@ -471,7 +490,7 @@ func (r *run) tailStep(state automaton.StateID, depth int) (newState automaton.S
 		return restored, boundary, false, nil
 
 	default:
-		return state, depth, false, r.errMalformed(len(r.data), "unterminated document")
+		return state, depth, false, r.errMalformed(r.endPos(), "unterminated document")
 	}
 }
 
@@ -495,8 +514,8 @@ func (r *run) tryMatchFirstItem(state automaton.StateID, openPos int) {
 	if _, nch, ok := r.iter.Peek(); !ok || nch == '{' || nch == '[' {
 		return // composite first entry (or malformed): Opening handles it
 	}
-	vs := FirstNonWS(r.data, openPos+1)
-	if !PlausibleValueStart(r.data, vs) {
+	vs := FirstNonWS(r.in, openPos+1)
+	if !PlausibleValueStart(r.in, vs) {
 		return // empty array or malformed input
 	}
 	r.emit(vs)

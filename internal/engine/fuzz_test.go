@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"rsonpath/internal/dom"
+	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
 
@@ -47,11 +50,28 @@ func FuzzEngineAgainstOracle(f *testing.F) {
 		root, parseErr := dom.Parse(data)
 		for _, v := range variants {
 			got, err := v.e.Matches(data)
+			// Differential: the same bytes through a window-bounded buffered
+			// input must match the in-memory run exactly. A *input.Error is
+			// the one sanctioned divergence — a document feature larger than
+			// the (tiny) window defeats it by design.
+			var bufGot []int
+			bufErr := v.e.RunInput(
+				input.NewBuffered(bytes.NewReader(data), 64),
+				func(pos int) { bufGot = append(bufGot, pos) })
 			if parseErr != nil {
 				continue // malformed: any clean result is acceptable
 			}
 			if err != nil {
 				t.Fatalf("%s on valid %q: %v", v.query, data, err)
+			}
+			var winErr *input.Error
+			switch {
+			case errors.As(bufErr, &winErr):
+				// window defeat: acceptable on any input
+			case bufErr != nil:
+				t.Fatalf("%s buffered on valid %q: %v", v.query, data, bufErr)
+			case !equalInts(bufGot, got):
+				t.Fatalf("%s on %q:\n  buffered: %v\n  in-memory: %v", v.query, data, bufGot, got)
 			}
 			want := dom.MatchOffsets(root, jsonpath.MustParse(v.query))
 			if !equalInts(got, want) {

@@ -1,44 +1,119 @@
 package engine
 
+import (
+	"rsonpath/internal/input"
+)
+
 // Scalar document-scanning helpers shared by the single-query run loop, the
 // stackless engine, and the multi-query driver (internal/multiquery). These
 // are the rare per-event scalar verifications the paper performs outside the
 // SIMD pipeline (§3.4): label backtracking, value-start plausibility, and
 // leaf delimitation.
+//
+// Each helper takes an input.Input. Over an in-memory document it runs the
+// original slice scan (input.Contiguous); over a window-bounded input it
+// scans in block-sized chunks, forward without limit and backward within
+// the input's retained look-behind (a label further back than the window
+// retains surfaces as a window-violation panic, converted to an error at
+// the Run boundary).
 
-// PlausibleValueStart reports whether data[i] can begin a JSON value; it
-// guards emissions against truncated input and trailing commas.
-func PlausibleValueStart(data []byte, i int) bool {
-	if i >= len(data) {
+// PlausibleValueStart reports whether the byte at offset i can begin a JSON
+// value; it guards emissions against truncated input and trailing commas.
+func PlausibleValueStart(in input.Input, i int) bool {
+	b, ok := in.ByteAt(i)
+	if !ok {
 		return false
 	}
-	switch data[i] {
+	switch b {
 	case ',', ':', ']', '}':
 		return false
 	}
 	return true
 }
 
-// FirstNonWS returns the first index at or after i with a non-whitespace
-// byte, or len(data).
-func FirstNonWS(data []byte, i int) int {
-	for i < len(data) {
-		switch data[i] {
-		case ' ', '\t', '\n', '\r':
-			i++
-		default:
+// FirstNonWS returns the first offset at or after i with a non-whitespace
+// byte, or the document length.
+func FirstNonWS(in input.Input, i int) int {
+	if data := input.Contiguous(in); data != nil {
+		for i < len(data) {
+			switch data[i] {
+			case ' ', '\t', '\n', '\r':
+				i++
+			default:
+				return i
+			}
+		}
+		return i
+	}
+	for {
+		chunk := in.Bytes(i, i+input.BlockSize)
+		if len(chunk) == 0 {
 			return i
 		}
+		for j, b := range chunk {
+			if !isWS(b) {
+				return i + j
+			}
+		}
+		i += len(chunk)
 	}
-	return i
 }
 
 // LabelBefore backtracks from the position of an opening character (or of
 // the byte just past a label's colon) to the label it belongs to (§3.4's
 // get_label()). It returns hasLabel=false for array entries (artificial
 // label) and ok=false when the document is malformed. The returned slice
-// aliases data and holds the raw key bytes, escapes included.
-func LabelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
+// aliases the input's storage and holds the raw key bytes, escapes
+// included; it is valid only until the next access to the input.
+func LabelBefore(in input.Input, pos int) (label []byte, hasLabel, ok bool) {
+	if data := input.Contiguous(in); data != nil {
+		return labelBeforeSlice(data, pos)
+	}
+	b := backScan{in: in, base: pos, hi: pos}
+	i := pos - 1
+	for i >= 0 && isWS(b.at(i)) {
+		i--
+	}
+	if i < 0 {
+		return nil, false, true // document root
+	}
+	switch b.at(i) {
+	case ',', '[':
+		return nil, false, true // array entry
+	case ':':
+		i--
+	default:
+		return nil, false, false
+	}
+	for i >= 0 && isWS(b.at(i)) {
+		i--
+	}
+	if i < 0 || b.at(i) != '"' {
+		return nil, false, false
+	}
+	closing := i
+	// Find the key's opening quote, skipping quotes that are escaped.
+	for {
+		i--
+		for i >= 0 && b.at(i) != '"' {
+			i--
+		}
+		if i < 0 {
+			return nil, false, false
+		}
+		// Count the backslashes immediately before the candidate quote.
+		bs := 0
+		for j := i - 1; j >= 0 && b.at(j) == '\\'; j-- {
+			bs++
+		}
+		if bs%2 == 0 {
+			return b.slice(i+1, closing), true, true
+		}
+	}
+}
+
+// labelBeforeSlice is LabelBefore's original in-memory scan.
+func labelBeforeSlice(data []byte, pos int) (label []byte, hasLabel, ok bool) {
 	i := pos - 1
 	for i >= 0 && isWS(data[i]) {
 		i--
@@ -61,7 +136,6 @@ func LabelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
 		return nil, false, false
 	}
 	closing := i
-	// Find the key's opening quote, skipping quotes that are escaped.
 	for {
 		i--
 		for i >= 0 && data[i] != '"' {
@@ -70,7 +144,6 @@ func LabelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
 		if i < 0 {
 			return nil, false, false
 		}
-		// Count the backslashes immediately before the candidate quote.
 		bs := 0
 		for j := i - 1; j >= 0 && data[j] == '\\'; j-- {
 			bs++
@@ -81,12 +154,89 @@ func LabelBefore(data []byte, pos int) (label []byte, hasLabel, ok bool) {
 	}
 }
 
+// backScan serves backward byte access over a window-bounded input: a
+// cached slice covering [base, hi), grown downward on demand. Growing past
+// the input's retained look-behind is a window violation.
+type backScan struct {
+	in   input.Input
+	buf  []byte
+	base int
+	hi   int
+}
+
+// at returns the byte at absolute offset i (0 ≤ i < hi).
+func (b *backScan) at(i int) byte {
+	if i < b.base {
+		newBase := i - input.BlockSize
+		if r := b.in.Retained(); newBase < r {
+			newBase = r
+		}
+		if newBase > i {
+			input.Exceeded("label-backscan", i)
+		}
+		b.buf = b.in.Bytes(newBase, b.hi)
+		b.base = newBase
+	}
+	return b.buf[i-b.base]
+}
+
+// slice returns the bytes [lo, hi) of the cached span.
+func (b *backScan) slice(lo, hi int) []byte {
+	return b.buf[lo-b.base : hi-b.base]
+}
+
 func isWS(b byte) bool {
 	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
 }
 
 // LeafEnd returns the offset just past the atomic value starting at pos.
-func LeafEnd(data []byte, pos int) int {
+func LeafEnd(in input.Input, pos int) int {
+	if data := input.Contiguous(in); data != nil {
+		return leafEndSlice(data, pos)
+	}
+	first, ok := in.ByteAt(pos)
+	if !ok {
+		return pos
+	}
+	i := pos + 1
+	if first == '"' {
+		escaped := false
+		for {
+			chunk := in.Bytes(i, i+input.BlockSize)
+			if len(chunk) == 0 {
+				return i
+			}
+			for j, c := range chunk {
+				switch {
+				case escaped:
+					escaped = false
+				case c == '\\':
+					escaped = true
+				case c == '"':
+					return i + j + 1
+				}
+			}
+			i += len(chunk)
+		}
+	}
+	i = pos
+	for {
+		chunk := in.Bytes(i, i+input.BlockSize)
+		if len(chunk) == 0 {
+			return i
+		}
+		for j, c := range chunk {
+			switch c {
+			case ',', '}', ']', ' ', '\t', '\n', '\r':
+				return i + j
+			}
+		}
+		i += len(chunk)
+	}
+}
+
+// leafEndSlice is LeafEnd's original in-memory scan.
+func leafEndSlice(data []byte, pos int) int {
 	if data[pos] == '"' {
 		i := pos + 1
 		for i < len(data) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"rsonpath/internal/classifier"
+	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
 
@@ -71,13 +72,25 @@ func (e *Stackless) Matches(data []byte) ([]int, error) {
 	return out, err
 }
 
-// Run streams the document once, reporting each match's value offset.
+// Run streams an in-memory document once, reporting each match's value
+// offset.
 func (e *Stackless) Run(data []byte, emit func(pos int)) error {
-	rootPos := FirstNonWS(data, 0)
-	if rootPos == len(data) {
-		return errMalformedAt(data, 0, "empty input")
+	return e.RunInput(input.NewBytes(data), emit)
+}
+
+// RunInput is Run over any input source; over a window-bounded input the
+// engine's memory stays bounded by the window.
+func (e *Stackless) RunInput(in input.Input, emit func(pos int)) error {
+	return input.Guard(func() error { return e.runInput(in, emit) })
+}
+
+func (e *Stackless) runInput(in input.Input, emit func(pos int)) error {
+	rootPos := FirstNonWS(in, 0)
+	c, ok := in.ByteAt(rootPos)
+	if !ok {
+		return errMalformedAt(0, "empty input")
 	}
-	if c := data[rootPos]; c != '{' && c != '[' {
+	if c != '{' && c != '[' {
 		return nil // atomic root: no descendants
 	}
 
@@ -86,7 +99,7 @@ func (e *Stackless) Run(data []byte, emit func(pos int)) error {
 	state := 1
 	depth := 1
 
-	stream := classifier.NewStream(data)
+	stream := classifier.NewStreamInput(in)
 	iter := classifier.NewStructural(stream, rootPos+1)
 	// Leaves can only match the final selector; commas never matter
 	// (array entries carry no labels).
@@ -95,13 +108,17 @@ func (e *Stackless) Run(data []byte, emit func(pos int)) error {
 	for {
 		pos, ch, ok := iter.Next()
 		if !ok {
-			return errMalformedAt(data, len(data), "unterminated document")
+			end := in.Len()
+			if end < 0 {
+				end = 0
+			}
+			return errMalformedAt(end, "unterminated document")
 		}
 		switch ch {
 		case '{', '[':
-			label, hasLabel, lok := LabelBefore(data, pos)
+			label, hasLabel, lok := LabelBefore(in, pos)
 			if !lok {
-				return errMalformedAt(data, pos, "cannot locate label")
+				return errMalformedAt(pos, "cannot locate label")
 			}
 			if hasLabel {
 				switch {
@@ -130,16 +147,16 @@ func (e *Stackless) Run(data []byte, emit func(pos int)) error {
 			if _, nch, ok := iter.Peek(); ok && (nch == '{' || nch == '[') {
 				continue // composite value: handled at its opening
 			}
-			label, hasLabel, lok := LabelBefore(data, pos+1)
+			label, hasLabel, lok := LabelBefore(in, pos+1)
 			if !lok || !hasLabel {
-				return errMalformedAt(data, pos, "colon without label")
+				return errMalformedAt(pos, "colon without label")
 			}
 			// Only enabled when state >= n: a leaf can complete the query
 			// but cannot host deeper matches.
 			if bytesEq(label, e.labels[n-1]) {
-				vs := FirstNonWS(data, pos+1)
-				if !PlausibleValueStart(data, vs) {
-					return errMalformedAt(data, pos, "missing value")
+				vs := FirstNonWS(in, pos+1)
+				if !PlausibleValueStart(in, vs) {
+					return errMalformedAt(pos, "missing value")
 				}
 				emit(vs)
 			}
@@ -159,7 +176,7 @@ func bytesEq(a, b []byte) bool {
 	return true
 }
 
-func errMalformedAt(data []byte, pos int, why string) error {
-	r := &run{data: data}
+func errMalformedAt(pos int, why string) error {
+	r := &run{}
 	return r.errMalformed(pos, why)
 }

@@ -1,0 +1,183 @@
+package input
+
+import (
+	"io"
+
+	"rsonpath/internal/simd"
+)
+
+const (
+	// DefaultWindow is the forward window used when none is configured:
+	// large enough that realistic keys, whitespace runs and matched values
+	// fit comfortably, small enough that a run's footprint is negligible
+	// next to gigabyte documents.
+	DefaultWindow = 256 << 10
+
+	// minBehind is the minimum look-behind retention, whatever the window:
+	// the scalar verifications behind the cursor (label backtracking, quote
+	// state reconstruction at a block boundary) must work even under the
+	// pathological one-block forward window the tests exercise.
+	minBehind = 8 * BlockSize
+)
+
+// BufferedInput is the streaming implementation of Input: a fixed-capacity
+// contiguous window over an io.Reader, slid forward on demand. Memory is
+// bounded by the window regardless of document size. The window is split
+// conceptually into a forward span (Window) serving look-ahead requests and
+// a look-behind span at least as large as minBehind; a single Bytes request
+// may span both.
+type BufferedInput struct {
+	r       io.Reader
+	buf     []byte // buffered document bytes [start, start+len(buf))
+	start   int    // absolute offset of buf[0]
+	length  int    // total document length; -1 until EOF is observed
+	window  int    // forward request guarantee
+	behind  int    // look-behind retention guarantee
+	scratch [2]simd.Block
+}
+
+// NewBuffered streams the document in r through a window of approximately
+// the given size (rounded up to whole blocks; values ≤ 0 select
+// DefaultWindow). Total retention is the window plus a look-behind of the
+// same order, never less than minBehind.
+func NewBuffered(r io.Reader, window int) *BufferedInput {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if rem := window % BlockSize; rem != 0 {
+		window += BlockSize - rem
+	}
+	behind := window
+	if behind < minBehind {
+		behind = minBehind
+	}
+	return &BufferedInput{
+		r:      r,
+		buf:    make([]byte, 0, window+behind),
+		length: -1,
+		window: window,
+		behind: behind,
+	}
+}
+
+// Block returns block idx, copied into one of two alternating scratch
+// blocks so that probing block idx+1 never invalidates block idx (the
+// stream's end-of-input probe relies on this).
+func (in *BufferedInput) Block(idx int) (*simd.Block, int) {
+	off := idx * BlockSize
+	src := in.Bytes(off, off+BlockSize)
+	dst := &in.scratch[idx&1]
+	n := simd.LoadBlock(dst, src, Pad)
+	return dst, n
+}
+
+// Bytes returns the document bytes [lo, hi) clamped at the end of the
+// document, reading from the underlying reader and sliding the window
+// forward as needed. The slice aliases the window and is valid until the
+// next call of any method.
+func (in *BufferedInput) Bytes(lo, hi int) []byte {
+	in.request(lo, hi)
+	in.fill(hi)
+	if end := in.start + len(in.buf); hi > end {
+		hi = end
+	}
+	if lo >= hi {
+		return nil
+	}
+	return in.buf[lo-in.start : hi-in.start]
+}
+
+// ByteAt returns the byte at offset i.
+func (in *BufferedInput) ByteAt(i int) (byte, bool) {
+	s := in.Bytes(i, i+1)
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[0], true
+}
+
+// Len returns the document length once the end has been observed, -1 before.
+func (in *BufferedInput) Len() int { return in.length }
+
+// Window returns the forward request guarantee in bytes.
+func (in *BufferedInput) Window() int { return in.window }
+
+// Retained returns the lowest still-addressable offset.
+func (in *BufferedInput) Retained() int { return in.start }
+
+// request validates [lo, hi) against the window contract and slides the
+// buffer forward until the span fits, preserving reader continuity (only
+// bytes already read may be discarded).
+func (in *BufferedInput) request(lo, hi int) {
+	if lo < in.start {
+		Exceeded("bytes", lo)
+	}
+	c := cap(in.buf)
+	if hi-lo > c {
+		Exceeded("bytes", hi)
+	}
+	for hi > in.start+c && in.length < 0 {
+		in.fill(in.start + c)
+		if in.length >= 0 {
+			break
+		}
+		// Slide a whole window's worth at a time — retaining exactly the
+		// look-behind guarantee behind lo — so the memmove amortizes to
+		// O(1) per document byte instead of running once per block.
+		newStart := lo - in.behind
+		if newStart < hi-c {
+			newStart = hi - c // spans wider than the window retain less
+		}
+		if m := in.start + len(in.buf); newStart > m {
+			newStart = m
+		}
+		if newStart <= in.start {
+			break
+		}
+		in.slide(newStart)
+	}
+}
+
+// slide discards the buffered bytes below newStart.
+func (in *BufferedInput) slide(newStart int) {
+	drop := newStart - in.start
+	if drop <= 0 {
+		return
+	}
+	if drop >= len(in.buf) {
+		in.buf = in.buf[:0]
+	} else {
+		n := copy(in.buf, in.buf[drop:])
+		in.buf = in.buf[:n]
+	}
+	in.start = newStart
+}
+
+// fill reads until the buffer covers hi or the document ends. Read errors
+// are delivered by panic; Guard converts them at the run boundary.
+func (in *BufferedInput) fill(hi int) {
+	stalls := 0
+	for in.length < 0 && in.start+len(in.buf) < hi {
+		free := in.buf[len(in.buf):cap(in.buf)]
+		if len(free) == 0 {
+			// request guarantees room for hi; defensive only.
+			Exceeded("fill", hi)
+		}
+		n, err := in.r.Read(free)
+		in.buf = in.buf[:len(in.buf)+n]
+		if err == io.EOF {
+			in.length = in.start + len(in.buf)
+			return
+		}
+		if err != nil {
+			panic(&Error{Op: "read", Off: in.start + len(in.buf), Err: err})
+		}
+		if n == 0 {
+			if stalls++; stalls >= 100 {
+				panic(&Error{Op: "read", Off: in.start + len(in.buf), Err: io.ErrNoProgress})
+			}
+		} else {
+			stalls = 0
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package input
+
+import "rsonpath/internal/simd"
+
+// BytesInput is the borrowed-bytes implementation of Input: a complete
+// in-memory document. Interior blocks are served zero-copy (the block
+// pointer aliases the document), the final partial block is padded once at
+// construction, and windows are unbounded.
+type BytesInput struct {
+	data    []byte
+	tail    simd.Block // padded storage for the final partial block
+	tailIdx int        // block index served from tail, -1 if none
+	tailLen int        // real bytes in tail
+}
+
+// NewBytes wraps a complete document. The slice is aliased, not copied.
+func NewBytes(data []byte) *BytesInput {
+	in := &BytesInput{data: data, tailIdx: -1}
+	if rem := len(data) % BlockSize; rem != 0 {
+		in.tailIdx = len(data) / BlockSize
+		in.tailLen = simd.LoadBlock(&in.tail, data[len(data)-rem:], Pad)
+	}
+	return in
+}
+
+// Block returns block idx: zero-copy for interior blocks, the pre-padded
+// tail for the final partial block, shared padding past the end.
+func (in *BytesInput) Block(idx int) (*simd.Block, int) {
+	off := idx * BlockSize
+	if off+BlockSize <= len(in.data) {
+		return (*simd.Block)(in.data[off:]), BlockSize
+	}
+	if idx == in.tailIdx {
+		return &in.tail, in.tailLen
+	}
+	return &padBlock, 0
+}
+
+// Bytes returns data[lo:hi] clamped at the document end.
+func (in *BytesInput) Bytes(lo, hi int) []byte {
+	if hi > len(in.data) {
+		hi = len(in.data)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return in.data[lo:hi]
+}
+
+// ByteAt returns the byte at offset i.
+func (in *BytesInput) ByteAt(i int) (byte, bool) {
+	if i >= len(in.data) {
+		return 0, false
+	}
+	return in.data[i], true
+}
+
+// Len returns the document length (always known).
+func (in *BytesInput) Len() int { return len(in.data) }
+
+// Window returns 0: the whole document is addressable.
+func (in *BytesInput) Window() int { return 0 }
+
+// Retained returns 0: nothing is ever discarded.
+func (in *BytesInput) Retained() int { return 0 }
+
+// Contiguous returns the whole document as one slice when in holds it in
+// memory (a BytesInput), nil otherwise. The scalar helpers around the
+// engines use it to keep slice-speed fast paths over in-memory documents
+// while sharing one windowed implementation with the streaming case.
+func Contiguous(in Input) []byte {
+	if b, ok := in.(*BytesInput); ok {
+		return b.data
+	}
+	return nil
+}

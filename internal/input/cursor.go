@@ -1,0 +1,61 @@
+package input
+
+// Cursor gives the scalar baselines (surfer, ski) slice-speed byte access
+// over any Input: a cached contiguous chunk with an inlinable fast path,
+// refilled from the Input on a miss. Over a BytesInput the first access
+// caches the entire document, so the fast path is the pre-refactor slice
+// index; over a BufferedInput each refill advances the window.
+type Cursor struct {
+	chunk []byte // cached document bytes [base, base+len(chunk))
+	base  int
+	in    Input
+}
+
+// NewCursor returns a cursor over in, positioned before the first byte.
+func NewCursor(in Input) Cursor {
+	return Cursor{in: in}
+}
+
+// ByteAt returns the document byte at absolute offset i; ok is false at or
+// past the end of the document.
+func (c *Cursor) ByteAt(i int) (byte, bool) {
+	if j := i - c.base; j >= 0 && j < len(c.chunk) {
+		return c.chunk[j], true
+	}
+	return c.refill(i)
+}
+
+// refill re-centers the cached chunk on offset i.
+func (c *Cursor) refill(i int) (byte, bool) {
+	if i < 0 {
+		return 0, false
+	}
+	w := c.in.Window()
+	if w == 0 {
+		c.chunk, c.base = c.in.Bytes(0, c.in.Len()), 0
+	} else {
+		c.chunk, c.base = c.in.Bytes(i, i+w), i
+	}
+	if j := i - c.base; j >= 0 && j < len(c.chunk) {
+		return c.chunk[j], true
+	}
+	return 0, false
+}
+
+// Slice returns the document bytes [lo, hi) clamped at the document end,
+// and re-centers the cache on them (the underlying window may have slid,
+// invalidating the previous chunk). The slice is valid until the next
+// Cursor or Input call.
+func (c *Cursor) Slice(lo, hi int) []byte {
+	s := c.in.Bytes(lo, hi)
+	c.chunk, c.base = s, lo
+	return s
+}
+
+// Invalidate drops the cached chunk. Callers must invalidate after any
+// other component has accessed the underlying input: a streaming input may
+// have slid its window, moving the bytes the cache aliases.
+func (c *Cursor) Invalidate() { c.chunk = nil }
+
+// Input returns the underlying Input.
+func (c *Cursor) Input() Input { return c.in }

@@ -1,0 +1,152 @@
+// Package input is the substrate contract between documents and the
+// classification pipeline: a JSON document presented as a sequence of padded
+// 64-byte blocks (the unit every SWAR classifier consumes, mirroring
+// simdjson's padded_string requirement) plus windowed access to contiguous
+// byte ranges for the few scalar verifications the paper performs outside
+// the SIMD pipeline (label backtracking, key verification, memmem seeking).
+//
+// Two implementations cover the two regimes of the original system:
+//
+//   - BytesInput borrows a complete in-memory document (the mmap/borrowed
+//     regime): zero-copy block access, unbounded windows.
+//   - BufferedInput streams from an io.Reader through a fixed-size sliding
+//     window (the buffered regime): memory is bounded by the window however
+//     large the document, at the price of one copy per block and a bounded
+//     look-behind.
+//
+// # The padded-block contract
+//
+// Block(idx) returns the 64 bytes at [idx*64, idx*64+64), padded with
+// spaces past the end of the document, together with the number of real
+// (non-padding) bytes. Space padding is invisible to every classifier: it
+// is neither structural, nor a quote, nor a backslash. Blocks must be
+// requested in non-decreasing index order (JumpTo-style forward jumps are
+// fine); the returned pointer stays valid until Block is called with an
+// index ≥ idx+2 (implementations double-buffer so that probing the block
+// after the current one never invalidates it), and is unaffected by Bytes
+// and ByteAt calls.
+//
+// # Windows
+//
+// Bytes(lo, hi) returns the document bytes [lo, hi) clamped at the end of
+// the document. The slice aliases internal storage and is valid only until
+// the next call of any method on the Input. A streaming implementation
+// retains a bounded span: requests reaching further back than Retained()
+// cannot be served. Callers keep their look-behind small (a label, a block,
+// a whitespace run); a document that defeats this — a single key or
+// backslash run longer than the window — is reported as *Error rather than
+// silently mis-scanned.
+//
+// # Error channel
+//
+// Block, Bytes and ByteAt cannot fail on in-memory inputs, and threading an
+// error return through every mask computation would put a branch in the
+// hottest loops of the engine for the benefit of the rare streaming-only
+// failure. Implementations therefore panic with *Error on read failures and
+// window violations; Guard converts the panic back into an ordinary error
+// at the Run boundary. The panic never crosses a public API: every
+// streaming entry point wraps its run in Guard.
+package input
+
+import (
+	"errors"
+	"fmt"
+
+	"rsonpath/internal/simd"
+)
+
+// BlockSize is the number of bytes per classification block.
+const BlockSize = simd.BlockSize
+
+// Pad is the padding byte appended past the end of the document: plain
+// space, invisible to every classifier.
+const Pad byte = ' '
+
+// Input presents a document as padded 64-byte blocks plus windowed byte
+// ranges. Implementations are single-goroutine; engines allocate one Input
+// per run.
+type Input interface {
+	// Block returns the padded block idx (document bytes [idx*64,
+	// idx*64+64)) and the number of real bytes in it: 64 for interior
+	// blocks, 1..63 for the final partial block, 0 at or past the end of
+	// the document. The block is always fully initialized; bytes past the
+	// real count hold Pad.
+	Block(idx int) (b *simd.Block, n int)
+
+	// Bytes returns the document bytes [lo, hi), clamped at the end of the
+	// document (the result is shorter than hi-lo only when the document
+	// ends before hi). The slice is valid until the next call of any
+	// method. lo must be ≥ Retained().
+	Bytes(lo, hi int) []byte
+
+	// ByteAt returns the byte at absolute offset i; ok is false at or past
+	// the end of the document. i must be ≥ Retained().
+	ByteAt(i int) (b byte, ok bool)
+
+	// Len returns the total document length, or -1 while it is unknown (a
+	// streaming input that has not reached the end yet).
+	Len() int
+
+	// Window returns the forward span, in bytes, that Bytes is guaranteed
+	// to serve in one request; 0 means unbounded (the whole document is
+	// addressable). Scanners size their chunks by it.
+	Window() int
+
+	// Retained returns the lowest absolute offset still addressable.
+	// Always 0 for in-memory inputs; a streaming input discards bytes far
+	// enough behind the highest offset requested so far.
+	Retained() int
+}
+
+// Error is the failure of an Input access: an underlying read error, or a
+// request outside the retained window (a document feature — key, backslash
+// run, matched value — larger than the configured window). It is delivered
+// by panic and converted back to an ordinary error by Guard.
+type Error struct {
+	Op  string // the failing access, for diagnostics
+	Off int    // the absolute offset of the failing access
+	Err error  // ErrWindow, or the underlying read error
+}
+
+// ErrWindow marks accesses outside the buffered window.
+var ErrWindow = errors.New("access outside the buffered window")
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("input: %s at offset %d: %v", e.Op, e.Off, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Exceeded panics with a window-violation *Error. Scanners that track their
+// own window budget (backward label scans) use it to fail identically to a
+// direct out-of-window access.
+func Exceeded(op string, off int) {
+	panic(&Error{Op: op, Off: off, Err: ErrWindow})
+}
+
+// Guard runs f, converting an input-layer panic into a returned error.
+// Every streaming entry point wraps its run in Guard; non-input panics are
+// re-raised untouched.
+func Guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(*Error)
+			if !ok {
+				panic(r)
+			}
+			err = e
+		}
+	}()
+	return f()
+}
+
+// padBlock is the shared all-padding block returned for reads past the end
+// of an in-memory document. Read-only by contract.
+var padBlock = func() simd.Block {
+	var b simd.Block
+	for i := range b {
+		b[i] = Pad
+	}
+	return b
+}()

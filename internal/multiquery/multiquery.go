@@ -34,6 +34,7 @@ import (
 	"rsonpath/internal/classifier"
 	"rsonpath/internal/depthstack"
 	"rsonpath/internal/engine"
+	"rsonpath/internal/input"
 )
 
 // Set is a compiled set of query automata evaluated in one shared pass. It
@@ -66,16 +67,28 @@ func (s *Set) Len() int { return len(s.dfas) }
 // matches and a nil error (a batch of queries over no document matches
 // nothing), unlike the single-query engine, which reports them as malformed.
 func (s *Set) Run(data []byte, emit func(query, pos int)) error {
+	return s.RunInput(input.NewBytes(data), emit)
+}
+
+// RunInput is Run over any input source. Over a window-bounded input the
+// shared pass's memory stays bounded by the window; a document feature
+// larger than the window surfaces as *input.Error.
+func (s *Set) RunInput(in input.Input, emit func(query, pos int)) error {
+	return input.Guard(func() error { return s.runInput(in, emit) })
+}
+
+func (s *Set) runInput(in input.Input, emit func(query, pos int)) error {
 	if len(s.dfas) == 0 {
 		return nil
 	}
-	rootPos := engine.FirstNonWS(data, 0)
-	if rootPos == len(data) {
+	rootPos := engine.FirstNonWS(in, 0)
+	c, ok := in.ByteAt(rootPos)
+	if !ok {
 		return nil
 	}
 	r := &run{
 		set:      s,
-		data:     data,
+		in:       in,
 		emit:     emit,
 		steppers: make([]engine.Stepper, len(s.dfas)),
 		targets:  make([]automaton.StateID, len(s.dfas)),
@@ -86,11 +99,10 @@ func (s *Set) Run(data []byte, emit func(query, pos int)) error {
 			emit(i, rootPos)
 		}
 	}
-	c := data[rootPos]
 	if c != '{' && c != '[' {
 		return nil // atomic root: nothing below it
 	}
-	r.stream = classifier.NewStream(data)
+	r.stream = classifier.NewStreamInput(in)
 	r.iter = classifier.NewStructural(r.stream, rootPos+1)
 	return r.scan(rootPos, c)
 }
@@ -99,7 +111,7 @@ func (s *Set) Run(data []byte, emit func(query, pos int)) error {
 // document-structural trackers, and one stepper per query.
 type run struct {
 	set    *Set
-	data   []byte
+	in     input.Input
 	emit   func(query, pos int)
 	stream *classifier.Stream
 	iter   *classifier.Structural
@@ -157,11 +169,15 @@ func (r *run) scan(openPos int, openCh byte) error {
 	for {
 		pos, ch, ok := r.iter.Next()
 		if !ok {
-			return r.errMalformed(len(r.data), "unterminated document")
+			end := r.in.Len()
+			if end < 0 {
+				end = 0
+			}
+			return r.errMalformed(end, "unterminated document")
 		}
 		switch ch {
 		case '{', '[':
-			label, hasLabel, lok := engine.LabelBefore(r.data, pos)
+			label, hasLabel, lok := engine.LabelBefore(r.in, pos)
 			if !lok {
 				return r.errMalformed(pos, "cannot locate label")
 			}
@@ -238,18 +254,24 @@ func (r *run) scan(openPos int, openCh byte) error {
 			if _, nch, ok := r.iter.Peek(); ok && (nch == '{' || nch == '[') {
 				continue // composite value: handled by its Opening event
 			}
-			label, hasLabel, lok := engine.LabelBefore(r.data, pos+1)
+			label, hasLabel, lok := engine.LabelBefore(r.in, pos+1)
 			if !lok || !hasLabel {
 				return r.errMalformed(pos, "colon without label")
+			}
+			// Resolve every stepper's transition before touching the input
+			// again: the label slice aliases the input's window, and the
+			// value scan below may slide it.
+			for i := range r.steppers {
+				r.targets[i] = r.steppers[i].EventTarget(label, true, 0)
 			}
 			vs := -1
 			allSkip := true
 			for i := range r.steppers {
-				t := r.steppers[i].EventTarget(label, true, 0)
+				t := r.targets[i]
 				if r.steppers[i].Accepting(t) {
 					if vs < 0 {
-						vs = engine.FirstNonWS(r.data, pos+1)
-						if !engine.PlausibleValueStart(r.data, vs) {
+						vs = engine.FirstNonWS(r.in, pos+1)
+						if !engine.PlausibleValueStart(r.in, vs) {
 							return r.errMalformed(pos, "missing value")
 						}
 					}
@@ -287,8 +309,8 @@ func (r *run) scan(openPos int, openCh byte) error {
 					continue
 				}
 				if vs == -1 {
-					vs = engine.FirstNonWS(r.data, pos+1)
-					if !engine.PlausibleValueStart(r.data, vs) {
+					vs = engine.FirstNonWS(r.in, pos+1)
+					if !engine.PlausibleValueStart(r.in, vs) {
 						vs = -2 // trailing comma or truncation: nothing to report
 					}
 				}
@@ -314,8 +336,8 @@ func (r *run) tryMatchFirstItem(openPos int) {
 			if _, nch, ok := r.iter.Peek(); !ok || nch == '{' || nch == '[' {
 				vs = -2 // composite first entry (or malformed): Opening handles it
 			} else {
-				vs = engine.FirstNonWS(r.data, openPos+1)
-				if !engine.PlausibleValueStart(r.data, vs) {
+				vs = engine.FirstNonWS(r.in, openPos+1)
+				if !engine.PlausibleValueStart(r.in, vs) {
 					vs = -2 // empty array or malformed input
 				}
 			}

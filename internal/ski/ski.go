@@ -7,9 +7,14 @@
 // wildcard steps into every entry of an array but not into the fields of an
 // object (§1.1). Descendant and index selectors are rejected at
 // compilation. Irrelevant values are fast-forwarded with the bit-parallel
-// bracket counting of classifier.ScanToClose, and once a label step has
+// bracket counting of classifier.SkipToClose, and once a label step has
 // matched, the remaining siblings are fast-forwarded to the enclosing
 // closer — the skipping repertoire the paper credits JSONSki with.
+//
+// Byte access goes through an input.Cursor and every fast-forward scans
+// strictly forward (sibling skipping resumes from the end of the matched
+// member, not from the object's opening), so the same code serves both
+// in-memory documents and window-bounded streaming inputs.
 package ski
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 
 	"rsonpath/internal/classifier"
+	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
 
@@ -78,24 +84,32 @@ func (e *Engine) Matches(data []byte) ([]int, error) {
 	return out, err
 }
 
-// Run streams the document, invoking emit for every match.
+// Run streams an in-memory document, invoking emit for every match.
 func (e *Engine) Run(data []byte, emit func(pos int)) error {
-	r := &run{e: e, data: data, emit: emit}
-	pos := skipWS(data, 0)
-	if pos >= len(data) {
-		return r.errf(0, "empty input")
-	}
-	if len(e.steps) == 0 {
-		emit(pos)
-		return nil
-	}
-	_, err := r.value(pos, 0)
-	return err
+	return e.RunInput(input.NewBytes(data), emit)
+}
+
+// RunInput is Run over any input source; over a window-bounded input the
+// baseline's memory stays bounded by the window.
+func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
+	return input.Guard(func() error {
+		r := &run{e: e, cur: input.NewCursor(in), emit: emit}
+		pos := r.skipWS(0)
+		if _, ok := r.cur.ByteAt(pos); !ok {
+			return r.errf(0, "empty input")
+		}
+		if len(e.steps) == 0 {
+			emit(pos)
+			return nil
+		}
+		_, err := r.value(pos, 0)
+		return err
+	})
 }
 
 type run struct {
 	e    *Engine
-	data []byte
+	cur  input.Cursor
 	emit func(int)
 }
 
@@ -107,7 +121,7 @@ func (r *run) errf(pos int, format string, args ...interface{}) error {
 // just past the value. k < len(steps): the caller reports final matches.
 func (r *run) value(pos, k int) (end int, err error) {
 	st := r.e.steps[k]
-	switch r.data[pos] {
+	switch c, _ := r.cur.ByteAt(pos); c {
 	case '{':
 		if st.wildcard {
 			// JSONSki wildcard semantics: objects are not traversed.
@@ -139,33 +153,39 @@ func (r *run) dispatch(pos, k int) (end int, err error) {
 // whose key equals the step's label and fast-forwarding everything else.
 func (r *run) object(pos, k int) (end int, err error) {
 	label := r.e.steps[k].label
-	i := skipWS(r.data, pos+1)
-	if i < len(r.data) && r.data[i] == '}' {
+	i := r.skipWS(pos + 1)
+	if b, ok := r.cur.ByteAt(i); ok && b == '}' {
 		return i + 1, nil
 	}
 	for {
-		if i >= len(r.data) || r.data[i] != '"' {
+		if b, ok := r.cur.ByteAt(i); !ok || b != '"' {
 			return 0, r.errf(i, "expected object key")
 		}
-		key, j, err := scanString(r.data, i)
+		key, j, err := r.scanString(i)
 		if err != nil {
 			return 0, err
 		}
-		j = skipWS(r.data, j)
-		if j >= len(r.data) || r.data[j] != ':' {
+		// Compare before the cursor moves again: the key slice aliases the
+		// input's window.
+		match := bytesEqual(key, label)
+		j = r.skipWS(j)
+		if b, ok := r.cur.ByteAt(j); !ok || b != ':' {
 			return 0, r.errf(j, "expected ':'")
 		}
-		v := skipWS(r.data, j+1)
-		if v >= len(r.data) {
+		v := r.skipWS(j + 1)
+		if _, ok := r.cur.ByteAt(v); !ok {
 			return 0, r.errf(v, "missing value")
 		}
-		if bytesEqual(key, label) {
-			if _, err = r.dispatch(v, k+1); err != nil {
+		if match {
+			after, err := r.dispatch(v, k+1)
+			if err != nil {
 				return 0, err
 			}
 			// Keys are assumed unique among siblings: fast-forward to the
-			// object's closer (JSONSki's sibling skipping).
-			close, ok := classifier.ScanToClose(r.data, pos+1, '{')
+			// object's closer (JSONSki's sibling skipping). The depth scan
+			// starts just past the matched member — one unmatched opening
+			// brace up — so it only ever moves forward.
+			close, ok := r.scanToClose(after, '{')
 			if !ok {
 				return 0, r.errf(pos, "unterminated object")
 			}
@@ -175,13 +195,14 @@ func (r *run) object(pos, k int) (end int, err error) {
 		if err != nil {
 			return 0, err
 		}
-		i = skipWS(r.data, i)
-		if i >= len(r.data) {
+		i = r.skipWS(i)
+		b, ok := r.cur.ByteAt(i)
+		if !ok {
 			return 0, r.errf(i, "unterminated object")
 		}
-		switch r.data[i] {
+		switch b {
 		case ',':
-			i = skipWS(r.data, i+1)
+			i = r.skipWS(i + 1)
 		case '}':
 			return i + 1, nil
 		default:
@@ -193,25 +214,26 @@ func (r *run) object(pos, k int) (end int, err error) {
 // array scans the entries of the array at pos, descending into each
 // (wildcard step).
 func (r *run) array(pos, k int) (end int, err error) {
-	i := skipWS(r.data, pos+1)
-	if i < len(r.data) && r.data[i] == ']' {
+	i := r.skipWS(pos + 1)
+	if b, ok := r.cur.ByteAt(i); ok && b == ']' {
 		return i + 1, nil
 	}
 	for {
-		if i >= len(r.data) {
+		if _, ok := r.cur.ByteAt(i); !ok {
 			return 0, r.errf(i, "unterminated array")
 		}
 		i, err = r.dispatch(i, k+1)
 		if err != nil {
 			return 0, err
 		}
-		i = skipWS(r.data, i)
-		if i >= len(r.data) {
+		i = r.skipWS(i)
+		b, ok := r.cur.ByteAt(i)
+		if !ok {
 			return 0, r.errf(i, "unterminated array")
 		}
-		switch r.data[i] {
+		switch b {
 		case ',':
-			i = skipWS(r.data, i+1)
+			i = r.skipWS(i + 1)
 		case ']':
 			return i + 1, nil
 		default:
@@ -223,56 +245,97 @@ func (r *run) array(pos, k int) (end int, err error) {
 // skipValue fast-forwards over the value at pos and returns the offset just
 // past it; composite values use the bit-parallel depth scan.
 func (r *run) skipValue(pos int) (end int, err error) {
-	switch c := r.data[pos]; {
+	switch c, _ := r.cur.ByteAt(pos); {
 	case c == '{' || c == '[':
-		close, ok := classifier.ScanToClose(r.data, pos+1, c)
+		close, ok := r.scanToClose(pos+1, c)
 		if !ok {
 			return 0, r.errf(pos, "unterminated value")
 		}
 		return close + 1, nil
 	case c == '"':
-		_, end, err := scanString(r.data, pos)
-		return end, err
+		return r.skipString(pos)
 	default:
 		i := pos
-		for i < len(r.data) {
-			switch r.data[i] {
+		for {
+			b, ok := r.cur.ByteAt(i)
+			if !ok {
+				return i, nil
+			}
+			switch b {
 			case ',', '}', ']', ' ', '\t', '\n', '\r':
 				return i, nil
 			}
 			i++
 		}
-		return i, nil
 	}
 }
 
+// scanToClose runs the depth classifier from absolute offset from (outside
+// any string, relative depth 1) to the matching closer of an open character
+// of the given kind. The classifier stream shares the cursor's input, so
+// the cursor's cache is invalidated afterwards.
+func (r *run) scanToClose(from int, open byte) (closePos int, ok bool) {
+	s := classifier.NewStreamAt(r.cur.Input(), from)
+	p, ok := classifier.SkipToClose(s, from, open)
+	r.cur.Invalidate()
+	return p, ok
+}
+
 // scanString consumes the string starting at the quote at pos, returning
-// its raw contents and the offset just past the closing quote.
-func scanString(data []byte, pos int) (raw []byte, end int, err error) {
+// its raw contents and the offset just past the closing quote. The slice
+// aliases the input's window and is valid only until the cursor moves.
+func (r *run) scanString(pos int) (raw []byte, end int, err error) {
 	i := pos + 1
-	for i < len(data) {
-		switch data[i] {
+	for {
+		b, ok := r.cur.ByteAt(i)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: unterminated string at offset %d", ErrMalformed, pos)
+		}
+		switch b {
 		case '"':
-			return data[pos+1 : i], i + 1, nil
+			return r.cur.Slice(pos+1, i), i + 1, nil
 		case '\\':
 			i += 2
 		default:
 			i++
 		}
 	}
-	return nil, 0, fmt.Errorf("%w: unterminated string at offset %d", ErrMalformed, pos)
 }
 
-func skipWS(data []byte, i int) int {
-	for i < len(data) {
-		switch data[i] {
+// skipString consumes the string starting at the quote at pos without
+// materializing its contents, so value strings longer than a streaming
+// window pass through unhindered.
+func (r *run) skipString(pos int) (end int, err error) {
+	i := pos + 1
+	for {
+		b, ok := r.cur.ByteAt(i)
+		if !ok {
+			return 0, fmt.Errorf("%w: unterminated string at offset %d", ErrMalformed, pos)
+		}
+		switch b {
+		case '"':
+			return i + 1, nil
+		case '\\':
+			i += 2
+		default:
+			i++
+		}
+	}
+}
+
+func (r *run) skipWS(i int) int {
+	for {
+		b, ok := r.cur.ByteAt(i)
+		if !ok {
+			return i
+		}
+		switch b {
 		case ' ', '\t', '\n', '\r':
 			i++
 		default:
 			return i
 		}
 	}
-	return i
 }
 
 func bytesEqual(a, b []byte) bool {

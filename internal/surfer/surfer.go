@@ -8,6 +8,10 @@
 // and, like the original baseline, validates the documents it scans
 // reasonably strictly. Differential tests hold it to the same oracle as the
 // main engine; in benchmarks it provides the "no acceleration" floor.
+//
+// Byte access goes through an input.Cursor, so the same code serves both
+// in-memory documents (the cursor caches the whole slice, keeping the
+// original indexing speed) and window-bounded streaming inputs.
 package surfer
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 
 	"rsonpath/internal/automaton"
+	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
 
@@ -74,7 +79,7 @@ type frame struct {
 
 type run struct {
 	e             *Engine
-	data          []byte
+	cur           input.Cursor
 	pos           int
 	emit          func(int)
 	trailingComma bool
@@ -84,38 +89,45 @@ func (r *run) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, fmt.Sprintf(format, args...), r.pos)
 }
 
-// Run streams the document, invoking emit for every match.
+// Run streams an in-memory document, invoking emit for every match.
 func (e *Engine) Run(data []byte, emit func(pos int)) error {
-	r := &run{e: e, data: data, emit: emit}
-	r.ws()
-	if r.pos >= len(data) {
-		return r.errf("empty input")
-	}
-	init := e.dfa.Initial
-	if e.dfa.States[init].Accepting {
-		emit(r.pos)
-	}
-	if err := r.value(init); err != nil {
-		return err
-	}
-	r.ws()
-	if r.pos != len(data) {
-		return r.errf("trailing content")
-	}
-	return nil
+	return e.RunInput(input.NewBytes(data), emit)
+}
+
+// RunInput is Run over any input source; over a window-bounded input the
+// baseline's memory stays bounded by the window.
+func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
+	return input.Guard(func() error {
+		r := &run{e: e, cur: input.NewCursor(in), emit: emit}
+		r.ws()
+		if _, ok := r.cur.ByteAt(r.pos); !ok {
+			return r.errf("empty input")
+		}
+		init := e.dfa.Initial
+		if e.dfa.States[init].Accepting {
+			emit(r.pos)
+		}
+		if err := r.value(init); err != nil {
+			return err
+		}
+		r.ws()
+		if _, ok := r.cur.ByteAt(r.pos); ok {
+			return r.errf("trailing content")
+		}
+		return nil
+	})
 }
 
 // value consumes one JSON value; state is the automaton state valid for the
 // container's children (matches were already reported by the caller).
 func (r *run) value(state automaton.StateID) error {
-	switch c := r.data[r.pos]; {
+	switch c, _ := r.cur.ByteAt(r.pos); {
 	case c == '{':
 		return r.container(state, true)
 	case c == '[':
 		return r.container(state, false)
 	case c == '"':
-		_, err := r.str()
-		return err
+		return r.strSkip()
 	case c == 't':
 		return r.lit("true")
 	case c == 'f':
@@ -140,12 +152,13 @@ func (r *run) container(state automaton.StateID, isObj bool) error {
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		r.ws()
-		if r.pos >= len(r.data) {
+		b, ok := r.cur.ByteAt(r.pos)
+		if !ok {
 			return r.errf("unterminated container")
 		}
 
 		// Closing character?
-		if top.isObj && r.data[r.pos] == '}' || !top.isObj && r.data[r.pos] == ']' {
+		if top.isObj && b == '}' || !top.isObj && b == ']' {
 			if top.idx > 0 && r.trailingComma {
 				return r.errf("trailing comma")
 			}
@@ -164,20 +177,22 @@ func (r *run) container(state automaton.StateID, isObj bool) error {
 		// Member or entry.
 		var target automaton.StateID
 		if top.isObj {
-			if r.data[r.pos] != '"' {
+			if b != '"' {
 				return r.errf("expected object key")
 			}
 			key, err := r.str()
 			if err != nil {
 				return err
 			}
+			// Take the transition before the cursor moves again: the key
+			// slice aliases the input's window.
+			target = dfa.Transition(top.state, key)
 			r.ws()
-			if r.pos >= len(r.data) || r.data[r.pos] != ':' {
+			if c, ok := r.cur.ByteAt(r.pos); !ok || c != ':' {
 				return r.errf("expected ':'")
 			}
 			r.pos++
 			r.ws()
-			target = dfa.Transition(top.state, key)
 		} else {
 			if r.e.needsIndex {
 				target = dfa.TransitionIndex(top.state, top.idx)
@@ -188,13 +203,14 @@ func (r *run) container(state automaton.StateID, isObj bool) error {
 		top.idx++
 		r.trailingComma = false
 
-		if r.pos >= len(r.data) {
+		c, ok := r.cur.ByteAt(r.pos)
+		if !ok {
 			return r.errf("missing value")
 		}
 		if dfa.States[target].Accepting {
 			r.emit(r.pos)
 		}
-		switch c := r.data[r.pos]; c {
+		switch c {
 		case '{':
 			stack = append(stack, frame{state: target, isObj: true})
 			r.pos++
@@ -216,7 +232,7 @@ func (r *run) container(state automaton.StateID, isObj bool) error {
 // separator consumes an optional comma after a finished member/entry.
 func (r *run) separator(top *frame) error {
 	r.ws()
-	if r.pos < len(r.data) && r.data[r.pos] == ',' {
+	if b, ok := r.cur.ByteAt(r.pos); ok && b == ',' {
 		r.pos++
 		r.trailingComma = true
 	}
@@ -224,8 +240,12 @@ func (r *run) separator(top *frame) error {
 }
 
 func (r *run) ws() {
-	for r.pos < len(r.data) {
-		switch r.data[r.pos] {
+	for {
+		b, ok := r.cur.ByteAt(r.pos)
+		if !ok {
+			return
+		}
+		switch b {
 		case ' ', '\t', '\n', '\r':
 			r.pos++
 		default:
@@ -235,13 +255,19 @@ func (r *run) ws() {
 }
 
 // str consumes a string literal, returning the raw bytes between quotes.
+// The slice aliases the input's window and is valid only until the cursor
+// moves; the window bounds the longest key a streaming run can transport.
 func (r *run) str() ([]byte, error) {
 	r.pos++ // opening quote
 	start := r.pos
-	for r.pos < len(r.data) {
-		switch r.data[r.pos] {
+	for {
+		b, ok := r.cur.ByteAt(r.pos)
+		if !ok {
+			return nil, r.errf("unterminated string")
+		}
+		switch b {
 		case '"':
-			raw := r.data[start:r.pos]
+			raw := r.cur.Slice(start, r.pos)
 			r.pos++
 			return raw, nil
 		case '\\':
@@ -250,12 +276,34 @@ func (r *run) str() ([]byte, error) {
 			r.pos++
 		}
 	}
-	return nil, r.errf("unterminated string")
+}
+
+// strSkip consumes a string literal without materializing its contents, so
+// value strings longer than a streaming window pass through unhindered.
+func (r *run) strSkip() error {
+	r.pos++ // opening quote
+	for {
+		b, ok := r.cur.ByteAt(r.pos)
+		if !ok {
+			return r.errf("unterminated string")
+		}
+		switch b {
+		case '"':
+			r.pos++
+			return nil
+		case '\\':
+			r.pos += 2
+		default:
+			r.pos++
+		}
+	}
 }
 
 func (r *run) lit(s string) error {
-	if r.pos+len(s) > len(r.data) || string(r.data[r.pos:r.pos+len(s)]) != s {
-		return r.errf("invalid literal")
+	for k := 0; k < len(s); k++ {
+		if b, ok := r.cur.ByteAt(r.pos + k); !ok || b != s[k] {
+			return r.errf("invalid literal")
+		}
 	}
 	r.pos += len(s)
 	return nil
@@ -263,8 +311,12 @@ func (r *run) lit(s string) error {
 
 func (r *run) number() error {
 	start := r.pos
-	for r.pos < len(r.data) {
-		switch c := r.data[r.pos]; {
+	for {
+		b, ok := r.cur.ByteAt(r.pos)
+		if !ok {
+			return nil
+		}
+		switch c := b; {
 		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
 			r.pos++
 		default:
@@ -274,5 +326,4 @@ func (r *run) number() error {
 			return nil
 		}
 	}
-	return nil
 }

@@ -14,7 +14,9 @@ type LineMatch struct {
 	Line int
 	// Record is the raw record bytes; valid only during the visit call.
 	Record []byte
-	// Offsets are the match offsets within Record, in document order.
+	// Offsets are the match offsets within Record, in document order. Like
+	// Record, the slice is reused between records and is valid only during
+	// the visit call; copy it to retain it.
 	Offsets []int
 }
 

@@ -26,6 +26,7 @@ var errSetEngine = errors.New("rsonpath: QuerySet requires EngineRsonpath")
 type QuerySet struct {
 	sources []string
 	set     *multiquery.Set
+	window  int // RunReader window size; 0 = DefaultStreamWindow
 }
 
 // CompileSet parses and compiles a set of JSONPath expressions for one-pass
@@ -55,7 +56,7 @@ func CompileSet(queries []string, opts ...Option) (*QuerySet, error) {
 			return nil, fmt.Errorf("query %d (%s): %w", i, src, err)
 		}
 	}
-	return &QuerySet{sources: sources, set: multiquery.New(dfas)}, nil
+	return &QuerySet{sources: sources, set: multiquery.New(dfas), window: c.window}, nil
 }
 
 // MustCompileSet is CompileSet that panics on error, for fixed query sets.

@@ -85,6 +85,7 @@ type config struct {
 	kind      EngineKind
 	opt       Optimizations
 	semantics Semantics
+	window    int // RunReader window size; 0 = DefaultStreamWindow
 }
 
 // WithEngine selects the execution engine.
@@ -109,6 +110,7 @@ type Query struct {
 	parsed *jsonpath.Query
 	kind   EngineKind
 	run    runner
+	window int // RunReader window size; 0 = DefaultStreamWindow
 }
 
 // Compile parses and compiles a JSONPath expression.
@@ -124,7 +126,7 @@ func Compile(query string, opts ...Option) (*Query, error) {
 	if c.semantics == PathSemantics && c.kind != EngineDOM {
 		return nil, errPathSemantics
 	}
-	q := &Query{source: query, parsed: parsed, kind: c.kind}
+	q := &Query{source: query, parsed: parsed, kind: c.kind, window: c.window}
 	switch c.kind {
 	case EngineDOM:
 		sem := dom.NodeSemantics
@@ -240,15 +242,20 @@ func (q *Query) MatchValues(data []byte) (out [][]byte, err error) {
 	return out, nil
 }
 
-// CountReader reads the whole stream and counts matches. Like the original
-// system (which memory-maps its input), the engine operates on a complete
-// in-memory buffer; this helper does the buffering.
+// CountReader streams the document from r and counts matches, with memory
+// bounded by the configured stream window (see RunReader). EngineDOM, which
+// cannot stream, falls back to buffering the whole document.
 func (q *Query) CountReader(r io.Reader) (int, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return 0, err
+	n := 0
+	if _, ok := q.run.(inputRunner); !ok {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return 0, err
+		}
+		return q.Count(data)
 	}
-	return q.Count(data)
+	err := q.RunReader(r, func(int) { n++ })
+	return n, err
 }
 
 // errTruncated is returned by ValueAt on values that do not end within the
