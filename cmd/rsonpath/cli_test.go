@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli drives run() with an in-memory environment and returns the exit
+// code, stdout, and stderr.
+func cli(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIValues(t *testing.T) {
+	code, out, stderr := cli(t, `{"a": 1, "b": {"a": [2, 3]}}`, "$..a")
+	if code != exitOK || stderr != "" {
+		t.Fatalf("code %d stderr %q", code, stderr)
+	}
+	if out != "1\n[2, 3]\n" {
+		t.Fatalf("stdout %q", out)
+	}
+}
+
+func TestCLICountAndOffsets(t *testing.T) {
+	doc := `{"a": 1, "b": {"a": 2}}`
+	code, out, _ := cli(t, doc, "-count", "$..a")
+	if code != exitOK || out != "2\n" {
+		t.Fatalf("count: code %d out %q", code, out)
+	}
+	code, out, _ = cli(t, doc, "-offsets", "$..a")
+	if code != exitOK || out != "6\n20\n" {
+		t.Fatalf("offsets: code %d out %q", code, out)
+	}
+}
+
+func TestCLIFileArgument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(path, []byte(`{"a": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := cli(t, "", "$.a", path)
+	if code != exitOK || out != "7\n" {
+		t.Fatalf("code %d out %q", code, out)
+	}
+	code, _, stderr := cli(t, "", "$.a", filepath.Join(t.TempDir(), "missing.json"))
+	if code != exitIO || stderr == "" {
+		t.Fatalf("missing file: code %d stderr %q", code, stderr)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                   // no query
+		{"-bogus", "$.a"},                    // unknown flag
+		{"-engine", "zip", "$.a"},            // unknown engine
+		{"$.a[", "-"},                        // unparseable query
+		{"-lines", "-e", "$.a", "-e", "$.b"}, // -lines with a query set
+	} {
+		code, _, _ := cli(t, "{}", args...)
+		if code != exitUsage {
+			t.Fatalf("args %v: code %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestCLIMalformedInput(t *testing.T) {
+	for _, engine := range []string{"rsonpath", "surfer", "ski", "dom"} {
+		code, _, stderr := cli(t, `{"a": 1`, "-engine", engine, "$.a")
+		if code != exitMalformed {
+			t.Fatalf("[%s] code %d stderr %q, want %d", engine, code, stderr, exitMalformed)
+		}
+		if !strings.Contains(stderr, "offset") {
+			t.Fatalf("[%s] stderr %q does not report the byte offset", engine, stderr)
+		}
+	}
+}
+
+func TestCLILimitExceeded(t *testing.T) {
+	code, _, stderr := cli(t, `[1, 2, 3, 4]`, "-max-matches", "2", "$[*]")
+	if code != exitLimit {
+		t.Fatalf("max-matches: code %d stderr %q, want %d", code, stderr, exitLimit)
+	}
+	code, _, _ = cli(t, `{"a": {"b": {"c": 1}}}`, "-max-depth", "2", "$.a.b.c")
+	if code != exitLimit {
+		t.Fatalf("max-depth: code %d, want %d", code, exitLimit)
+	}
+	code, _, _ = cli(t, `{"a": [1, 2, 3, 4, 5, 6]}`, "-max-doc-bytes", "8", "$.a")
+	if code != exitLimit {
+		t.Fatalf("max-doc-bytes: code %d, want %d", code, exitLimit)
+	}
+}
+
+func TestCLIQuerySet(t *testing.T) {
+	doc := `{"a": 1, "b": 2}`
+	code, out, _ := cli(t, doc, "-e", "$.a", "-e", "$.b", "-count")
+	if code != exitOK {
+		t.Fatalf("code %d", code)
+	}
+	if out != "0:1\n1:1\n" {
+		t.Fatalf("out %q", out)
+	}
+}
+
+func TestCLILinesSkipsBadRecords(t *testing.T) {
+	input := `{"a": 1}` + "\n" + `{"a": ` + "\n" + `{"a": 3}` + "\n"
+	code, out, stderr := cli(t, input, "-lines", "$.a")
+	if code != exitMalformed {
+		t.Fatalf("code %d stderr %q, want %d", code, stderr, exitMalformed)
+	}
+	if out != "1\n3\n" {
+		t.Fatalf("good records not fully processed: out %q", out)
+	}
+	if !strings.Contains(stderr, "line 2") || !strings.Contains(stderr, "1 record(s) skipped") {
+		t.Fatalf("stderr %q does not report the bad line", stderr)
+	}
+}
+
+func TestCLILinesAllGood(t *testing.T) {
+	input := `{"a": 1}` + "\n" + `{"a": 2}` + "\n"
+	code, out, stderr := cli(t, input, "-lines", "-count", "$.a")
+	if code != exitOK || out != "2\n" || stderr != "" {
+		t.Fatalf("code %d out %q stderr %q", code, out, stderr)
+	}
+}

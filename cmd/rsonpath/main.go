@@ -15,14 +15,25 @@
 //	rsonpath -lines '$.event' log.jsonl     # newline-delimited JSON
 //	rsonpath -e '$..name' -e '$..id' products.json
 //	rsonpath -queries queries.txt -count products.json
+//	rsonpath -max-matches 10 '$..id' huge.json   # stop after ten matches
 //
 // With -e or -queries the queries are compiled into a QuerySet and the
 // document is scanned once for all of them; every output line is prefixed
 // with the zero-based index of the query it belongs to ("2:...").
+//
+// Exit codes:
+//
+//	0  success (matching nothing is still success)
+//	1  input/output failure (unreadable file, broken pipe, ...)
+//	2  usage error (bad flags, bad query, unknown engine)
+//	3  malformed JSON input (the byte offset is printed to stderr)
+//	4  a configured resource limit was exceeded
+//	5  internal error (a contained library fault; please report it)
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +41,16 @@ import (
 	"strings"
 
 	"rsonpath"
+)
+
+// Exit codes; documented in the package comment and the usage text.
+const (
+	exitOK        = 0
+	exitIO        = 1
+	exitUsage     = 2
+	exitMalformed = 3
+	exitLimit     = 4
+	exitInternal  = 5
 )
 
 // queryList collects repeated -e flags.
@@ -43,27 +64,41 @@ func (q *queryList) Set(v string) error {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so the tests can drive
+// the whole command without a subprocess. It returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rsonpath", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var exprs queryList
 	var (
-		count   = flag.Bool("count", false, "print only the number of matches")
-		offsets = flag.Bool("offsets", false, "print byte offsets instead of values")
-		engine  = flag.String("engine", "rsonpath", "engine: rsonpath, surfer, ski, or dom")
-		lines   = flag.Bool("lines", false, "treat input as newline-delimited JSON records")
-		qfile   = flag.String("queries", "", "file with one query per line (# comments); combined after -e queries")
+		count    = fs.Bool("count", false, "print only the number of matches")
+		offsets  = fs.Bool("offsets", false, "print byte offsets instead of values")
+		engine   = fs.String("engine", "rsonpath", "engine: rsonpath, surfer, ski, or dom")
+		lines    = fs.Bool("lines", false, "treat input as newline-delimited JSON records (bad records are skipped with a warning)")
+		qfile    = fs.String("queries", "", "file with one query per line (# comments); combined after -e queries")
+		maxDepth = fs.Int("max-depth", 0, "document nesting limit (0 = default, negative = unlimited)")
+		maxMatch = fs.Int("max-matches", 0, "stop with an error after this many matches (0 = unlimited)")
+		maxBytes = fs.Int("max-doc-bytes", 0, "largest document size accepted, in bytes (0 = unlimited)")
 	)
-	flag.Var(&exprs, "e", "query expression (repeatable; scans the document once for all queries)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rsonpath [flags] <query> [file]\n")
-		fmt.Fprintf(os.Stderr, "       rsonpath [flags] -e <query> [-e <query>...] [-queries file] [file]\n")
-		flag.PrintDefaults()
+	fs.Var(&exprs, "e", "query expression (repeatable; scans the document once for all queries)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rsonpath [flags] <query> [file]\n")
+		fmt.Fprintf(stderr, "       rsonpath [flags] -e <query> [-e <query>...] [-queries file] [file]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "exit codes: 0 success, 1 I/O failure, 2 usage, 3 malformed input, 4 limit exceeded, 5 internal error\n")
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	queries := []string(exprs)
 	if *qfile != "" {
 		fromFile, err := readQueryFile(*qfile)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		queries = append(queries, fromFile...)
 	}
@@ -71,68 +106,99 @@ func main() {
 
 	var file string
 	switch {
-	case multi && flag.NArg() <= 1:
-		file = flag.Arg(0)
-	case !multi && flag.NArg() >= 1 && flag.NArg() <= 2:
-		queries = []string{flag.Arg(0)}
-		file = flag.Arg(1)
+	case multi && fs.NArg() <= 1:
+		file = fs.Arg(0)
+	case !multi && fs.NArg() >= 1 && fs.NArg() <= 2:
+		queries = []string{fs.Arg(0)}
+		file = fs.Arg(1)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return exitUsage
 	}
 
 	kind, err := engineKind(*engine)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rsonpath:", err)
+		return exitUsage
+	}
+	opts := []rsonpath.Option{rsonpath.WithEngine(kind)}
+	if *maxDepth != 0 {
+		opts = append(opts, rsonpath.WithMaxDepth(*maxDepth))
+	}
+	if *maxMatch != 0 {
+		opts = append(opts, rsonpath.WithMaxMatches(*maxMatch))
+	}
+	if *maxBytes != 0 {
+		opts = append(opts, rsonpath.WithMaxDocBytes(*maxBytes))
 	}
 
-	var in io.Reader = os.Stdin
+	var in io.Reader = stdin
 	if file != "" && file != "-" {
 		f, err := os.Open(file)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		in = f
 	}
 
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 
 	if multi {
 		if *lines {
-			fatal(fmt.Errorf("multiple queries are not supported with -lines"))
+			fmt.Fprintln(stderr, "rsonpath: multiple queries are not supported with -lines")
+			return exitUsage
 		}
-		set, err := rsonpath.CompileSet(queries, rsonpath.WithEngine(kind))
+		set, err := rsonpath.CompileSet(queries, opts...)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rsonpath:", err)
+			return exitUsage
 		}
 		if err := runSet(set, in, out, *count, *offsets); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		return
+		return exitOK
 	}
 
-	q, err := rsonpath.Compile(queries[0], rsonpath.WithEngine(kind))
+	q, err := rsonpath.Compile(queries[0], opts...)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rsonpath:", err)
+		return exitUsage
 	}
 
 	if *lines {
-		if err := runLines(q, in, out, *count, *offsets); err != nil {
-			fatal(err)
-		}
-		return
+		return runLines(q, in, out, stderr, *count, *offsets)
 	}
 
 	if kind == rsonpath.EngineDOM {
 		if err := runOneBuffered(q, in, out, *count, *offsets); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		return
+		return exitOK
 	}
 	if err := runOne(q, in, out, *count, *offsets); err != nil {
-		fatal(err)
+		return fail(stderr, err)
+	}
+	return exitOK
+}
+
+// fail prints the error and maps it to the documented exit code. The typed
+// errors carry their byte offset in the message.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "rsonpath:", err)
+	var me *rsonpath.MalformedError
+	var le *rsonpath.LimitError
+	var ie *rsonpath.InternalError
+	switch {
+	case errors.As(err, &me):
+		return exitMalformed
+	case errors.As(err, &le):
+		return exitLimit
+	case errors.As(err, &ie):
+		return exitInternal
+	default:
+		return exitIO
 	}
 }
 
@@ -277,10 +343,23 @@ func readQueryFile(path string) ([]string, error) {
 	return queries, nil
 }
 
-// runLines streams newline-delimited records with bounded memory.
-func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+// runLines streams newline-delimited records with bounded memory. A record
+// that fails to evaluate is reported to stderr with its line number and
+// skipped; the scan continues, and the exit code reflects the worst record
+// seen (malformed input wins over a tripped limit).
+func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, stderr io.Writer, count, offsets bool) int {
 	total := 0
+	bad := 0
+	code := exitOK
 	err := q.RunLines(in, func(m rsonpath.LineMatch) error {
+		if m.Err != nil {
+			bad++
+			fmt.Fprintf(stderr, "rsonpath: line %d: %v\n", m.Line, m.Err)
+			if c := fail(io.Discard, m.Err); code == exitOK || c == exitMalformed {
+				code = c
+			}
+			return nil
+		}
 		switch {
 		case count:
 			total += len(m.Offsets)
@@ -301,12 +380,15 @@ func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, count, offsets
 		return nil
 	})
 	if err != nil {
-		return err
+		return fail(stderr, err)
 	}
 	if count {
 		fmt.Fprintln(out, total)
 	}
-	return nil
+	if bad > 0 {
+		fmt.Fprintf(stderr, "rsonpath: %d record(s) skipped\n", bad)
+	}
+	return code
 }
 
 func engineKind(name string) (rsonpath.EngineKind, error) {
@@ -322,9 +404,4 @@ func engineKind(name string) (rsonpath.EngineKind, error) {
 	default:
 		return 0, fmt.Errorf("unknown engine %q (want rsonpath, surfer, ski, or dom)", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rsonpath:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,122 @@
+package rsonpath
+
+import (
+	"context"
+	"io"
+
+	"rsonpath/internal/input"
+)
+
+// Context-aware streaming: RunReaderContext and QuerySet.RunReaderContext
+// observe ctx at every window refill — the natural cancellation points of a
+// window-bounded run — and return within one refill of cancellation, with
+// the error wrapping both ErrCanceled and the context's own error.
+//
+// The underlying reader is driven from a helper goroutine so that a Read
+// blocked on a stalled source cannot outlive the caller's patience: on
+// cancellation the run returns immediately and the goroutine winds down as
+// soon as its in-flight Read completes (bytes read after abandonment are
+// discarded; the run is over).
+
+// readResult is one completed Read of the pump goroutine.
+type readResult struct {
+	data []byte
+	err  error
+}
+
+// ctxReader adapts an io.Reader to a context: Read returns ctx.Err() as
+// soon as the context is done, even while the underlying reader blocks.
+type ctxReader struct {
+	ctx context.Context
+	req chan int        // capacity requests to the pump
+	res chan readResult // completed reads, buffered so the pump never leaks
+	err error           // sticky error after cancellation
+}
+
+func newCtxReader(ctx context.Context, r io.Reader) *ctxReader {
+	c := &ctxReader{
+		ctx: ctx,
+		req: make(chan int),
+		res: make(chan readResult, 1),
+	}
+	go c.pump(r)
+	return c
+}
+
+// pump owns the underlying reader and a private buffer. The consumer copies
+// a result out before issuing the next request, so the buffer is never
+// written while read — the request/response channels provide the
+// happens-before edges.
+func (c *ctxReader) pump(r io.Reader) {
+	var buf []byte
+	for size := range c.req {
+		if cap(buf) < size {
+			buf = make([]byte, size)
+		}
+		n, err := r.Read(buf[:size])
+		c.res <- readResult{data: buf[:n], err: err}
+	}
+}
+
+// stop releases the pump goroutine once no further Reads will be issued.
+func (c *ctxReader) stop() { close(c.req) }
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	select {
+	case <-c.ctx.Done():
+		c.err = c.ctx.Err()
+		return 0, c.err
+	case c.req <- len(p):
+	}
+	select {
+	case <-c.ctx.Done():
+		c.err = c.ctx.Err()
+		return 0, c.err
+	case r := <-c.res:
+		n := copy(p, r.data)
+		return n, r.err
+	}
+}
+
+// RunReaderContext is RunReader with cancellation: the run observes ctx at
+// every window refill and aborts with an error wrapping ErrCanceled (and
+// the context's own error) when ctx is done — even if the underlying reader
+// is blocked. Matches emitted before the cancellation have been delivered.
+func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, emit func(pos int)) error {
+	sr, ok := q.run.(inputRunner)
+	if !ok {
+		return ErrStreamingUnsupported
+	}
+	if err := ctx.Err(); err != nil {
+		return convertErr(err)
+	}
+	cr := newCtxReader(ctx, r)
+	defer cr.stop()
+	in := input.NewBuffered(cr, q.window)
+	if q.limits.maxDocBytes > 0 {
+		in.LimitDocBytes(q.limits.maxDocBytes)
+	}
+	return guardRun(q.kind.String(), func() error {
+		return sr.RunInput(in, q.limits.limitEmit(emit))
+	})
+}
+
+// RunReaderContext is QuerySet.RunReader with cancellation, with the same
+// contract as Query.RunReaderContext.
+func (s *QuerySet) RunReaderContext(ctx context.Context, r io.Reader, emit func(query, pos int)) error {
+	if err := ctx.Err(); err != nil {
+		return convertErr(err)
+	}
+	cr := newCtxReader(ctx, r)
+	defer cr.stop()
+	in := input.NewBuffered(cr, s.window)
+	if s.limits.maxDocBytes > 0 {
+		in.LimitDocBytes(s.limits.maxDocBytes)
+	}
+	return guardRun("queryset", func() error {
+		return s.set.RunInput(in, s.limits.limitEmit2(emit))
+	})
+}

@@ -32,10 +32,11 @@ func WithSemantics(s Semantics) Option {
 type domRunner struct {
 	query     *jsonpath.Query
 	semantics dom.Semantics
+	maxDepth  int // nesting bound for the recursive parser; 0 = dom default
 }
 
 func (d *domRunner) Run(data []byte, emit func(pos int)) error {
-	root, err := dom.Parse(data)
+	root, err := dom.ParseLimit(data, d.maxDepth)
 	if err != nil {
 		return err
 	}

@@ -35,7 +35,7 @@ func main() {
 	fmt.Printf("log: %d bytes, 5000 records\n\n", buf.Len())
 
 	// Count errors with one descendant query per record stream.
-	errs, err := rsonpath.MustCompile("$..error.code").CountLines(bytes.NewReader(buf.Bytes()))
+	errs, _, err := rsonpath.MustCompile("$..error.code").CountLines(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		log.Fatal(err)
 	}

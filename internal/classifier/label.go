@@ -121,6 +121,18 @@ func SeekLabelPattern(s *Stream, from int, label, pattern []byte) (keyAt, valueA
 			continue // refetch after verification
 		}
 		if final {
+			// No further occurrence. Carry the quote parity over the
+			// unsearched tail so the stream records whether the document
+			// ends inside a string — the engine's head-skip loop uses this
+			// to reject truncated documents it never classified.
+			if gap := buf[cur:]; !escaped && bytes.IndexByte(gap, '\\') < 0 {
+				if bytes.Count(gap, pattern[:1])&1 == 1 {
+					inString = !inString
+				}
+			} else {
+				inString, _ = advanceQuoteState(gap, inString, escaped)
+			}
+			s.seekTailInString = inString
 			return 0, 0, false
 		}
 		// Consume the chunk up to the overlap and carry the state forward.

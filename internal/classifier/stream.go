@@ -40,6 +40,13 @@ type Stream struct {
 
 	quoteMask uint64 // unescaped quotes in the current block
 	inString  uint64 // in-string positions in the current block
+
+	// seekTailInString records, after a label seek that reached the end of
+	// input, whether the document ended inside a string — the seeker's
+	// incremental quote parity carried to EOF. It exists for the engine's
+	// best-effort truncation check on the head-skip path, where no
+	// classified blocks cover the sought region.
+	seekTailInString bool
 }
 
 // NewStream creates a stream over an in-memory document and classifies the
@@ -137,3 +144,9 @@ func (s *Stream) QuoteMask() uint64 { return s.quoteMask }
 // Block returns the current block's bytes (padded with spaces past the
 // input's end).
 func (s *Stream) Block() *simd.Block { return s.block }
+
+// SeekEndedInString reports whether the most recent label seek that ran out
+// of input did so with the quote parity open — i.e. the document ends in
+// the middle of a string. Only meaningful directly after SeekLabel/
+// SeekLabelPattern returned ok=false.
+func (s *Stream) SeekEndedInString() bool { return s.seekTailInString }

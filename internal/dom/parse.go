@@ -10,7 +10,15 @@ package dom
 
 import (
 	"fmt"
+
+	"rsonpath/internal/errs"
 )
+
+// DefaultMaxDepth is the nesting bound Parse applies when none is given:
+// deep enough for any real document, shallow enough that the recursive
+// parser cannot overflow the goroutine stack on pathological input
+// (e.g. a megabyte of '[').
+const DefaultMaxDepth = 10000
 
 // Kind classifies a JSON value.
 type Kind int
@@ -78,14 +86,28 @@ func (e *SyntaxError) Error() string {
 }
 
 type parser struct {
-	data []byte
-	pos  int
+	data     []byte
+	pos      int
+	depth    int
+	maxDepth int
 }
 
 // Parse parses a complete JSON document, requiring that nothing but
-// whitespace follows the value.
+// whitespace follows the value. Nesting is bounded by DefaultMaxDepth;
+// use ParseLimit to choose the bound.
 func Parse(data []byte) (*Node, error) {
-	p := &parser{data: data}
+	return ParseLimit(data, DefaultMaxDepth)
+}
+
+// ParseLimit is Parse with an explicit nesting bound; documents nesting
+// deeper than maxDepth fail with a typed *errs.Limit instead of exhausting
+// the stack. maxDepth ≤ 0 selects DefaultMaxDepth (the recursive parser
+// cannot run unbounded).
+func ParseLimit(data []byte, maxDepth int) (*Node, error) {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	p := &parser{data: data, maxDepth: maxDepth}
 	p.ws()
 	n, err := p.value()
 	if err != nil {
@@ -146,7 +168,20 @@ func (p *parser) value() (*Node, error) {
 	}
 }
 
+// enter counts one level of nesting, failing when the bound is exceeded.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > p.maxDepth {
+		return errs.DepthLimit(p.maxDepth, p.pos)
+	}
+	return nil
+}
+
 func (p *parser) object() (*Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	n := &Node{Kind: KindObject, Start: p.pos}
 	p.pos++ // '{'
 	p.ws()
@@ -194,6 +229,10 @@ func (p *parser) object() (*Node, error) {
 }
 
 func (p *parser) array() (*Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	n := &Node{Kind: KindArray, Start: p.pos}
 	p.pos++ // '['
 	p.ws()

@@ -23,11 +23,11 @@ package engine
 
 import (
 	"errors"
-	"fmt"
 
 	"rsonpath/internal/automaton"
 	"rsonpath/internal/classifier"
 	"rsonpath/internal/depthstack"
+	"rsonpath/internal/errs"
 	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
@@ -56,6 +56,16 @@ type Options struct {
 	// stepping through events. Off by default to keep the paper's exact
 	// configuration; ignored for queries with index selectors.
 	EnableTailSkip bool
+	// MaxDepth aborts the run with a typed *errs.Limit when the nesting of
+	// the walked portion of the document exceeds it. Skipped subtrees do not
+	// count: their nesting costs the engine no memory, which is what the
+	// limit bounds. 0 or negative disables the check.
+	MaxDepth int
+	// MaxDocBytes aborts the run with a typed *errs.Limit when the document
+	// is known to be larger. For in-memory inputs the length is checked up
+	// front; window-bounded inputs enforce it at refill granularity through
+	// BufferedInput.LimitDocBytes.
+	MaxDocBytes int
 }
 
 // Engine executes one compiled query over any number of documents. It is
@@ -130,6 +140,11 @@ func (e *Engine) Run(data []byte, emit func(pos int)) error {
 // than the window (a key, a whitespace run) surfaces as *input.Error.
 func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
 	return input.Guard(func() error {
+		if max := e.opts.MaxDocBytes; max > 0 {
+			if n := in.Len(); n >= 0 && n > max {
+				return errs.DocBytesLimit(max, max)
+			}
+		}
 		r := &run{
 			e:      e,
 			dfa:    e.dfa,
@@ -159,7 +174,16 @@ type run struct {
 }
 
 func (r *run) errMalformed(pos int, why string) error {
-	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, why, pos)
+	return &errs.Malformed{Sentinel: ErrMalformed, Offset: pos, Kind: why}
+}
+
+// checkDepth enforces Options.MaxDepth at the points where the walked
+// nesting grows (and with it the engine's kind map and depth-stack).
+func (r *run) checkDepth(depth, pos int) error {
+	if max := r.e.opts.MaxDepth; max > 0 && depth > max {
+		return errs.DepthLimit(max, pos)
+	}
+	return nil
 }
 
 // endPos is the document length for end-of-input diagnostics; by the time
@@ -179,24 +203,44 @@ func (r *run) document() error {
 		return r.errMalformed(0, "empty input")
 	}
 	init := r.dfa.Initial
+	if c != '{' && c != '[' {
+		// Atomic root: validate the lone scalar lexically and reject any
+		// trailing content before reporting a match. No key can exist
+		// outside an object, so head-skip queries cannot match either way.
+		end, bad := input.AtomSpan(r.in, rootPos)
+		if bad != "" {
+			return r.errMalformed(end, bad)
+		}
+		if p, found := input.TrailingContent(r.in, end); found {
+			return r.errMalformed(p, "trailing content")
+		}
+		if r.dfa.States[init].Accepting {
+			r.emit(rootPos)
+		}
+		return nil
+	}
 	if r.dfa.States[init].Accepting {
 		r.emit(rootPos)
 	}
 	if r.e.headLabel != nil {
-		return r.headSkipLoop()
-	}
-	if c != '{' && c != '[' {
-		return nil // atomic root: nothing below it
+		return r.headSkipLoop(rootPos, c)
 	}
 	r.iter.Reset(rootPos + 1)
-	_, err := r.subtree(init, rootPos, c)
-	return err
+	end, err := r.subtree(init, rootPos, c)
+	if err != nil {
+		return err
+	}
+	if p, found := input.TrailingContent(r.in, end+1); found {
+		return r.errMalformed(p, "trailing content")
+	}
+	return nil
 }
 
 // headSkipLoop implements skipping to a label (§3.4): find each occurrence
 // of the head label with the SWAR seeker, take the transition, and run the
-// ordinary algorithm inside the associated value.
-func (r *run) headSkipLoop() error {
+// ordinary algorithm inside the associated value. rootPos/rootCh locate the
+// document's composite root for the best-effort end-of-input validation.
+func (r *run) headSkipLoop(rootPos int, rootCh byte) error {
 	label := r.e.headLabel
 	target := r.dfa.Transition(r.dfa.Initial, label)
 	accepting := r.dfa.States[target].Accepting
@@ -204,7 +248,7 @@ func (r *run) headSkipLoop() error {
 	for {
 		_, valueAt, ok := classifier.SeekLabelPattern(r.stream, from, label, r.e.headPattern)
 		if !ok {
-			return nil
+			return r.finishHeadSkip(rootPos, rootCh)
 		}
 		if accepting {
 			r.emit(valueAt)
@@ -232,6 +276,33 @@ func (r *run) headSkipLoop() error {
 		}
 		from = end + 1
 	}
+}
+
+// finishHeadSkip performs the best-effort end-of-input validation of a
+// head-skip run. The seeker never classifies the regions it jumps over, so
+// fully balance-checking them would cost exactly the pass the optimization
+// saves; instead two cheap checks reject the common corruption classes:
+// the seeker's own quote parity catches documents ending inside a string,
+// and the last non-whitespace byte must be the root's matching closer
+// (catching plain truncation and trailing garbage). Nesting imbalance
+// hidden strictly inside an unsought region can still slip through —
+// documented as best-effort in DESIGN.md §9.
+func (r *run) finishHeadSkip(rootPos int, rootCh byte) error {
+	if r.stream.SeekEndedInString() {
+		return r.errMalformed(r.endPos(), "unterminated string")
+	}
+	closer := byte('}')
+	if rootCh == '[' {
+		closer = ']'
+	}
+	last, ok := LastNonWS(r.in)
+	if !ok || last <= rootPos {
+		return r.errMalformed(r.endPos(), "unterminated document")
+	}
+	if b, _ := r.in.ByteAt(last); b != closer {
+		return r.errMalformed(last, "unterminated document")
+	}
+	return nil
 }
 
 // arrayEntryTarget returns the state reached by an array entry at index idx.
@@ -314,6 +385,9 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 				state = target
 			}
 			depth++
+			if err := r.checkDepth(depth, pos); err != nil {
+				return 0, err
+			}
 			r.kinds.Set(depth, ch == '{')
 			if ch == '[' && r.e.needsIndex {
 				r.indices.Push(0)
@@ -327,6 +401,9 @@ func (r *run) subtree(state automaton.StateID, openPos int, openCh byte) (endPos
 			}
 
 		case '}', ']':
+			if r.kinds.Get(depth) != (ch == '}') {
+				return 0, r.errMalformed(pos, "mismatched closer")
+			}
 			depth--
 			if ch == ']' && r.e.needsIndex && r.indices.Len() > 0 {
 				// The guard protects against malformed input closing an
@@ -453,6 +530,9 @@ func (r *run) tailStep(state automaton.StateID, depth int) (newState automaton.S
 		// Mirror the Opening case: enter the value.
 		r.stack.Push(int(state), atDepth)
 		atDepth++
+		if err := r.checkDepth(atDepth, ev.ValueAt); err != nil {
+			return state, depth, false, err
+		}
 		r.kinds.Set(atDepth, c == '{')
 		if r.dfa.States[target].Accepting {
 			r.emit(ev.ValueAt)

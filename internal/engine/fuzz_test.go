@@ -3,9 +3,11 @@ package engine
 import (
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 
 	"rsonpath/internal/dom"
+	"rsonpath/internal/faultreader"
 	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
@@ -72,6 +74,25 @@ func FuzzEngineAgainstOracle(f *testing.F) {
 				t.Fatalf("%s buffered on valid %q: %v", v.query, data, bufErr)
 			case !equalInts(bufGot, got):
 				t.Fatalf("%s on %q:\n  buffered: %v\n  in-memory: %v", v.query, data, bufGot, got)
+			}
+			// Hostile readers that still deliver the exact bytes (one byte
+			// per Read, reads torn at every block boundary) must change
+			// nothing: same matches, same sanctioned window-defeat escape.
+			for name, r := range map[string]io.Reader{
+				"one-byte":   faultreader.OneByte(data),
+				"block-torn": faultreader.Chunked(data, input.BlockSize),
+			} {
+				var faultGot []int
+				faultErr := v.e.RunInput(
+					input.NewBuffered(r, 64),
+					func(pos int) { faultGot = append(faultGot, pos) })
+				switch {
+				case errors.As(faultErr, &winErr):
+				case faultErr != nil:
+					t.Fatalf("%s %s on valid %q: %v", v.query, name, data, faultErr)
+				case !equalInts(faultGot, got):
+					t.Fatalf("%s %s on %q:\n  faulted: %v\n  in-memory: %v", v.query, name, data, faultGot, got)
+				}
 			}
 			want := dom.MatchOffsets(root, jsonpath.MustParse(v.query))
 			if !equalInts(got, want) {

@@ -189,6 +189,30 @@ func isWS(b byte) bool {
 	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
 }
 
+// LastNonWS scans backward from the end of the document and returns the
+// offset of the last non-whitespace byte. ok=false when none exists within
+// the input's retained look-behind (an all-whitespace tail wider than the
+// window cannot be verified). Only valid once the input's end has been
+// observed (Len() ≥ 0).
+func LastNonWS(in input.Input) (pos int, ok bool) {
+	i := in.Len()
+	floor := in.Retained()
+	for i > floor {
+		lo := i - input.BlockSize
+		if lo < floor {
+			lo = floor
+		}
+		chunk := in.Bytes(lo, i)
+		for j := len(chunk) - 1; j >= 0; j-- {
+			if !isWS(chunk[j]) {
+				return lo + j, true
+			}
+		}
+		i = lo
+	}
+	return 0, false
+}
+
 // LeafEnd returns the offset just past the atomic value starting at pos.
 func LeafEnd(in input.Input, pos int) int {
 	if data := input.Contiguous(in); data != nil {

@@ -4,6 +4,8 @@ import (
 	"errors"
 
 	"rsonpath/internal/classifier"
+	"rsonpath/internal/depthstack"
+	"rsonpath/internal/errs"
 	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
@@ -39,8 +41,14 @@ var ErrNotStackless = errors.New("engine: query is not a descendant-only label c
 // Stackless executes descendant-only label-chain queries with depth
 // registers and no stack. Safe for concurrent use.
 type Stackless struct {
-	labels [][]byte
+	labels   [][]byte
+	maxDepth int
 }
+
+// LimitDepth caps the document nesting the engine will walk; deeper input
+// aborts the run with a typed *errs.Limit. 0 or negative disables the
+// check.
+func (e *Stackless) LimitDepth(max int) { e.maxDepth = max }
 
 // NewStackless compiles q, rejecting queries outside the fragment.
 func NewStackless(q *jsonpath.Query) (*Stackless, error) {
@@ -91,13 +99,25 @@ func (e *Stackless) runInput(in input.Input, emit func(pos int)) error {
 		return errMalformedAt(0, "empty input")
 	}
 	if c != '{' && c != '[' {
-		return nil // atomic root: no descendants
+		// Atomic root: no descendants, but the lone scalar must still be a
+		// complete value with nothing after it.
+		end, bad := input.AtomSpan(in, rootPos)
+		if bad != "" {
+			return errMalformedAt(end, bad)
+		}
+		if p, found := input.TrailingContent(in, end); found {
+			return errMalformedAt(p, "trailing content")
+		}
+		return nil
 	}
 
 	n := len(e.labels)
 	regs := make([]int, n+1) // regs[i]: depth at which selector i matched
 	state := 1
 	depth := 1
+	var kinds depthstack.KindMap
+	kinds.Reset()
+	kinds.Set(1, c == '{')
 
 	stream := classifier.NewStreamInput(in)
 	iter := classifier.NewStructural(stream, rootPos+1)
@@ -134,9 +154,19 @@ func (e *Stackless) runInput(in input.Input, emit func(pos int)) error {
 				}
 			}
 			depth++
+			if e.maxDepth > 0 && depth > e.maxDepth {
+				return errs.DepthLimit(e.maxDepth, pos)
+			}
+			kinds.Set(depth, ch == '{')
 		case '}', ']':
+			if kinds.Get(depth) != (ch == '}') {
+				return errMalformedAt(pos, "mismatched closer")
+			}
 			depth--
 			if depth == 0 {
+				if p, found := input.TrailingContent(in, pos+1); found {
+					return errMalformedAt(p, "trailing content")
+				}
 				return nil
 			}
 			if state > 1 && regs[state-1] == depth {

@@ -1,0 +1,72 @@
+// Package errs defines the typed failure vocabulary shared by every engine
+// in this repository: structured malformed-input reports carrying a byte
+// offset and a short machine-readable kind, and structured resource-limit
+// reports. The public rsonpath package converts these to its exported
+// *MalformedError and *LimitError at the API boundary; inside internal/
+// the engines keep their historical package sentinels (engine.ErrMalformed,
+// surfer.ErrMalformed, ...) reachable through errors.Is via Unwrap.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Malformed reports input that cannot be a well-formed JSON document.
+type Malformed struct {
+	// Sentinel is the owning engine's ErrMalformed value, preserved so that
+	// errors.Is(err, engine.ErrMalformed) keeps working across the typing.
+	Sentinel error
+	// Offset is the byte offset the malformation was detected at. For the
+	// skipping engines this is best-effort (the first position at which the
+	// document is known to be broken, which may trail the true defect); the
+	// DOM engine reports exact positions.
+	Offset int
+	// Kind is a short stable description: "unterminated document",
+	// "unbalanced closer", "trailing content", ...
+	Kind string
+}
+
+func (e *Malformed) Error() string {
+	return fmt.Sprintf("%v: %s at offset %d", e.Sentinel, e.Kind, e.Offset)
+}
+
+// Unwrap exposes the engine sentinel for errors.Is.
+func (e *Malformed) Unwrap() error { return e.Sentinel }
+
+// ErrLimit is the sentinel wrapped by every *Limit error.
+var ErrLimit = errors.New("resource limit exceeded")
+
+// Limit reports a configured resource limit being exceeded: the run was
+// aborted to protect the caller, not because the input is necessarily
+// malformed.
+type Limit struct {
+	What   string // "depth", "matches", or "document bytes"
+	Max    int    // the configured limit
+	Offset int    // byte offset at which the limit tripped; -1 if unknown
+}
+
+func (e *Limit) Error() string {
+	return fmt.Sprintf("%v: %s limit %d exceeded at offset %d", ErrLimit, e.What, e.Max, e.Offset)
+}
+
+// Unwrap exposes ErrLimit for errors.Is.
+func (e *Limit) Unwrap() error { return ErrLimit }
+
+// DepthLimit builds the depth-limit error engines raise when document
+// nesting outgrows the configured maximum.
+func DepthLimit(max, offset int) *Limit {
+	return &Limit{What: "depth", Max: max, Offset: offset}
+}
+
+// DocBytesLimit builds the document-size error raised when the input
+// outgrows the configured maximum.
+func DocBytesLimit(max, offset int) *Limit {
+	return &Limit{What: "document bytes", Max: max, Offset: offset}
+}
+
+// MatchesLimit builds the match-count error raised when a run emits more
+// matches than the configured maximum.
+func MatchesLimit(max, offset int) *Limit {
+	return &Limit{What: "matches", Max: max, Offset: offset}
+}

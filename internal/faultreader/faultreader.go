@@ -1,0 +1,117 @@
+// Package faultreader provides hostile io.Reader implementations for the
+// fault-injection suite: readers that error mid-stream, deliver one byte at
+// a time, tear reads at arbitrary boundaries, or block forever. They let
+// the differential tests drive every engine through the exact failure modes
+// a network source exhibits, without a network.
+package faultreader
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error delivered by ErrorAfter once its budget is
+// spent; tests assert it survives to the API boundary unmangled.
+var ErrInjected = errors.New("faultreader: injected read failure")
+
+// ErrorAfter returns a reader that yields the first n bytes of data and
+// then fails every subsequent Read with ErrInjected.
+func ErrorAfter(data []byte, n int) io.Reader {
+	if n > len(data) {
+		n = len(data)
+	}
+	return &errorAfter{data: data[:n]}
+}
+
+type errorAfter struct {
+	data []byte
+	off  int
+}
+
+func (r *errorAfter) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, ErrInjected
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// OneByte returns a reader that delivers data one byte per Read — the
+// pathological short-read source. The document content is unchanged, so a
+// correct engine must produce identical results to an in-memory run.
+func OneByte(data []byte) io.Reader { return &chunked{data: data, chunk: 1} }
+
+// Chunked returns a reader that delivers data in reads of at most chunk
+// bytes, tearing the stream at every multiple of chunk. Using the
+// classifier's block size (64) as the chunk tears every read exactly at a
+// block boundary.
+func Chunked(data []byte, chunk int) io.Reader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &chunked{data: data, chunk: chunk}
+}
+
+type chunked struct {
+	data  []byte
+	off   int
+	chunk int
+}
+
+func (r *chunked) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := r.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(r.data)-r.off {
+		n = len(r.data) - r.off
+	}
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+// TornAt returns a reader that delivers data normally except that the read
+// containing offset cut is split there: one Read ends exactly at cut and
+// the next begins at it. A torn read at a block boundary exercises the
+// window refill path mid-document.
+func TornAt(data []byte, cut int) io.Reader {
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(data) {
+		cut = len(data)
+	}
+	return io.MultiReader(&chunked{data: data[:cut], chunk: 1 << 20}, &chunked{data: data[cut:], chunk: 1 << 20})
+}
+
+// Blocking returns a reader that yields the first n bytes of data and then
+// blocks on every subsequent Read until unblock is closed (after which it
+// returns io.EOF). It drives the cancellation tests: a run must return
+// promptly on context cancellation even while its reader is stuck.
+func Blocking(data []byte, n int, unblock <-chan struct{}) io.Reader {
+	if n > len(data) {
+		n = len(data)
+	}
+	return &blocking{data: data[:n], unblock: unblock}
+}
+
+type blocking struct {
+	data    []byte
+	off     int
+	unblock <-chan struct{}
+}
+
+func (r *blocking) Read(p []byte) (int, error) {
+	if r.off < len(r.data) {
+		n := copy(p, r.data[r.off:])
+		r.off += n
+		return n, nil
+	}
+	<-r.unblock
+	return 0, io.EOF
+}

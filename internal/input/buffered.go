@@ -3,6 +3,7 @@ package input
 import (
 	"io"
 
+	"rsonpath/internal/errs"
 	"rsonpath/internal/simd"
 )
 
@@ -33,6 +34,7 @@ type BufferedInput struct {
 	length  int    // total document length; -1 until EOF is observed
 	window  int    // forward request guarantee
 	behind  int    // look-behind retention guarantee
+	maxDoc  int    // document-size limit; 0 = unlimited
 	scratch [2]simd.Block
 }
 
@@ -153,6 +155,13 @@ func (in *BufferedInput) slide(newStart int) {
 	in.start = newStart
 }
 
+// LimitDocBytes caps the total number of document bytes the input will
+// read; a document growing past max aborts the run with a typed
+// *errs.Limit delivered through the input error channel. Checked at refill
+// granularity, so the hot path carries no per-byte test. 0 disables the
+// limit.
+func (in *BufferedInput) LimitDocBytes(max int) { in.maxDoc = max }
+
 // fill reads until the buffer covers hi or the document ends. Read errors
 // are delivered by panic; Guard converts them at the run boundary.
 func (in *BufferedInput) fill(hi int) {
@@ -165,6 +174,10 @@ func (in *BufferedInput) fill(hi int) {
 		}
 		n, err := in.r.Read(free)
 		in.buf = in.buf[:len(in.buf)+n]
+		if in.maxDoc > 0 && in.start+len(in.buf) > in.maxDoc {
+			panic(&Error{Op: "read", Off: in.maxDoc,
+				Err: errs.DocBytesLimit(in.maxDoc, in.maxDoc)})
+		}
 		if err == io.EOF {
 			in.length = in.start + len(in.buf)
 			return

@@ -1,0 +1,120 @@
+package input
+
+// Scalar validation helpers shared by the engines' hostile-input hardening:
+// lexical validation of atomic root values and trailing-content detection.
+// They live here because they are pure windowed-byte scans over an Input
+// with no other dependencies, usable from every engine package (including
+// ones that must not import internal/engine).
+
+// AtomSpan lexically validates the atomic JSON value starting at pos and
+// returns the offset just past it. badKind is non-empty when the token is
+// not a complete, valid scalar ("unterminated string", "invalid literal",
+// "invalid number", "unexpected character"); end then points at the
+// position the validation failed at.
+func AtomSpan(in Input, pos int) (end int, badKind string) {
+	c, ok := in.ByteAt(pos)
+	if !ok {
+		return pos, "unexpected character"
+	}
+	switch {
+	case c == '"':
+		i := pos + 1
+		esc := false
+		for {
+			b, ok := in.ByteAt(i)
+			if !ok {
+				return i, "unterminated string"
+			}
+			switch {
+			case esc:
+				esc = false
+			case b == '\\':
+				esc = true
+			case b == '"':
+				return i + 1, ""
+			}
+			i++
+		}
+	case c == 't':
+		return literalSpan(in, pos, "true")
+	case c == 'f':
+		return literalSpan(in, pos, "false")
+	case c == 'n':
+		return literalSpan(in, pos, "null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return numberSpan(in, pos)
+	default:
+		return pos, "unexpected character"
+	}
+}
+
+// literalSpan checks the exact literal lit at pos.
+func literalSpan(in Input, pos int, lit string) (end int, badKind string) {
+	for k := 0; k < len(lit); k++ {
+		if b, ok := in.ByteAt(pos + k); !ok || b != lit[k] {
+			return pos + k, "invalid literal"
+		}
+	}
+	return pos + len(lit), ""
+}
+
+// numberSpan checks the JSON number grammar at pos.
+func numberSpan(in Input, pos int) (end int, badKind string) {
+	i := pos
+	if b, _ := in.ByteAt(i); b == '-' {
+		i++
+	}
+	digits := func() int {
+		n := 0
+		for {
+			b, ok := in.ByteAt(i)
+			if !ok || b < '0' || b > '9' {
+				return n
+			}
+			i++
+			n++
+		}
+	}
+	if b, ok := in.ByteAt(i); ok && b == '0' {
+		i++
+	} else if digits() == 0 {
+		return i, "invalid number"
+	}
+	if b, ok := in.ByteAt(i); ok && b == '.' {
+		i++
+		if digits() == 0 {
+			return i, "invalid number"
+		}
+	}
+	if b, ok := in.ByteAt(i); ok && (b == 'e' || b == 'E') {
+		i++
+		if b, ok := in.ByteAt(i); ok && (b == '+' || b == '-') {
+			i++
+		}
+		if digits() == 0 {
+			return i, "invalid number"
+		}
+	}
+	return i, ""
+}
+
+// TrailingContent scans forward from offset from and reports the offset of
+// the first non-whitespace byte, with found=false when only whitespace (or
+// nothing) remains — the well-formed outcome after a complete root value.
+func TrailingContent(in Input, from int) (pos int, found bool) {
+	i := from
+	for {
+		chunk := in.Bytes(i, i+BlockSize)
+		if len(chunk) == 0 {
+			return i, false
+		}
+		for j, b := range chunk {
+			switch b {
+			case ' ', '\t', '\n', '\r':
+			default:
+				return i + j, true
+			}
+		}
+		i += len(chunk)
+	}
+}

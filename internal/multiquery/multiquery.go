@@ -28,20 +28,31 @@
 package multiquery
 
 import (
-	"fmt"
-
 	"rsonpath/internal/automaton"
 	"rsonpath/internal/classifier"
 	"rsonpath/internal/depthstack"
 	"rsonpath/internal/engine"
+	"rsonpath/internal/errs"
 	"rsonpath/internal/input"
 )
 
 // Set is a compiled set of query automata evaluated in one shared pass. It
-// is immutable and safe for concurrent use: each Run gets its own state.
+// is immutable once runs have started and safe for concurrent use: each Run
+// gets its own state. Limits may be configured between New and the first
+// Run.
 type Set struct {
-	dfas       []*automaton.DFA
-	needsIndex bool
+	dfas        []*automaton.DFA
+	needsIndex  bool
+	maxDepth    int
+	maxDocBytes int
+}
+
+// Limits configures the shared pass's resource limits: maxDepth caps the
+// walked document nesting, maxDocBytes the document size known up front.
+// Either 0 or negative disables that check. Call before the first Run.
+func (s *Set) Limits(maxDepth, maxDocBytes int) {
+	s.maxDepth = maxDepth
+	s.maxDocBytes = maxDocBytes
 }
 
 // New builds a set over compiled automata. The slice is retained.
@@ -81,6 +92,11 @@ func (s *Set) runInput(in input.Input, emit func(query, pos int)) error {
 	if len(s.dfas) == 0 {
 		return nil
 	}
+	if max := s.maxDocBytes; max > 0 {
+		if n := in.Len(); n >= 0 && n > max {
+			return errs.DocBytesLimit(max, max)
+		}
+	}
 	rootPos := engine.FirstNonWS(in, 0)
 	c, ok := in.ByteAt(rootPos)
 	if !ok {
@@ -93,14 +109,29 @@ func (s *Set) runInput(in input.Input, emit func(query, pos int)) error {
 		steppers: make([]engine.Stepper, len(s.dfas)),
 		targets:  make([]automaton.StateID, len(s.dfas)),
 	}
+	if c != '{' && c != '[' {
+		// Atomic root: nothing below it, but the lone scalar must still be
+		// a complete value with nothing after it.
+		end, bad := input.AtomSpan(in, rootPos)
+		if bad != "" {
+			return r.errMalformed(end, bad)
+		}
+		if p, found := input.TrailingContent(in, end); found {
+			return r.errMalformed(p, "trailing content")
+		}
+		for i, d := range s.dfas {
+			r.steppers[i].Init(d)
+			if r.steppers[i].InitialAccepting() {
+				emit(i, rootPos)
+			}
+		}
+		return nil
+	}
 	for i, d := range s.dfas {
 		r.steppers[i].Init(d)
 		if r.steppers[i].InitialAccepting() {
 			emit(i, rootPos)
 		}
-	}
-	if c != '{' && c != '[' {
-		return nil // atomic root: nothing below it
 	}
 	r.stream = classifier.NewStreamInput(in)
 	r.iter = classifier.NewStructural(r.stream, rootPos+1)
@@ -125,7 +156,7 @@ type run struct {
 }
 
 func (r *run) errMalformed(pos int, why string) error {
-	return fmt.Errorf("%w: %s at offset %d", engine.ErrMalformed, why, pos)
+	return &errs.Malformed{Sentinel: engine.ErrMalformed, Offset: pos, Kind: why}
 }
 
 // toggle adjusts the comma/colon symbols to the union of what the steppers'
@@ -213,12 +244,18 @@ func (r *run) scan(openPos int, openCh byte) error {
 				}
 			}
 			r.depth++
+			if max := r.set.maxDepth; max > 0 && r.depth > max {
+				return errs.DepthLimit(max, pos)
+			}
 			r.toggle()
 			if ch == '[' {
 				r.tryMatchFirstItem(pos)
 			}
 
 		case '}', ']':
+			if r.kinds.Get(r.depth) != (ch == '}') {
+				return r.errMalformed(pos, "mismatched closer")
+			}
 			r.depth--
 			if ch == ']' && r.set.needsIndex && r.indices.Len() > 0 {
 				// The guard protects against malformed input closing an
@@ -226,6 +263,9 @@ func (r *run) scan(openPos int, openCh byte) error {
 				r.indices.Pop()
 			}
 			if r.depth == 0 {
+				if p, found := input.TrailingContent(r.in, pos+1); found {
+					return r.errMalformed(p, "trailing content")
+				}
 				return nil
 			}
 			allUnitary := true

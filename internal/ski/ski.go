@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"rsonpath/internal/classifier"
+	"rsonpath/internal/errs"
 	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
@@ -91,20 +92,58 @@ func (e *Engine) Run(data []byte, emit func(pos int)) error {
 
 // RunInput is Run over any input source; over a window-bounded input the
 // baseline's memory stays bounded by the window.
+//
+// Note on depth limits: ski's recursion is bounded by the query length, not
+// the document depth (irrelevant subtrees are fast-forwarded with the
+// bit-parallel depth scan, which uses O(1) memory), so the engine is exempt
+// from the depth limit the stack-bearing engines enforce.
 func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
 	return input.Guard(func() error {
 		r := &run{e: e, cur: input.NewCursor(in), emit: emit}
 		pos := r.skipWS(0)
-		if _, ok := r.cur.ByteAt(pos); !ok {
+		c, ok := r.cur.ByteAt(pos)
+		if !ok {
 			return r.errf(0, "empty input")
+		}
+		if c != '{' && c != '[' {
+			// Atomic root: validate the lone scalar and reject trailing
+			// bytes; no step can descend into it.
+			end, bad := input.AtomSpan(in, pos)
+			r.cur.Invalidate()
+			if bad != "" {
+				return r.errf(end, bad)
+			}
+			if p, found := input.TrailingContent(in, end); found {
+				return r.errf(p, "trailing content")
+			}
+			if len(e.steps) == 0 {
+				emit(pos)
+			}
+			return nil
 		}
 		if len(e.steps) == 0 {
 			emit(pos)
-			return nil
+			end, err := r.skipValue(pos)
+			if err != nil {
+				return err
+			}
+			return r.checkTrailing(end)
 		}
-		_, err := r.value(pos, 0)
-		return err
+		end, err := r.value(pos, 0)
+		if err != nil {
+			return err
+		}
+		return r.checkTrailing(end)
 	})
+}
+
+// checkTrailing rejects non-whitespace bytes after the root value.
+func (r *run) checkTrailing(end int) error {
+	r.cur.Invalidate()
+	if p, found := input.TrailingContent(r.cur.Input(), end); found {
+		return r.errf(p, "trailing content")
+	}
+	return nil
 }
 
 type run struct {
@@ -114,7 +153,7 @@ type run struct {
 }
 
 func (r *run) errf(pos int, format string, args ...interface{}) error {
-	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, fmt.Sprintf(format, args...), pos)
+	return &errs.Malformed{Sentinel: ErrMalformed, Offset: pos, Kind: fmt.Sprintf(format, args...)}
 }
 
 // value processes the value at pos against steps[k:] and returns the offset
@@ -289,7 +328,7 @@ func (r *run) scanString(pos int) (raw []byte, end int, err error) {
 	for {
 		b, ok := r.cur.ByteAt(i)
 		if !ok {
-			return nil, 0, fmt.Errorf("%w: unterminated string at offset %d", ErrMalformed, pos)
+			return nil, 0, errUnterminatedString(pos)
 		}
 		switch b {
 		case '"':
@@ -302,6 +341,12 @@ func (r *run) scanString(pos int) (raw []byte, end int, err error) {
 	}
 }
 
+// errUnterminatedString builds the typed unterminated-string error shared by
+// scanString and skipString.
+func errUnterminatedString(pos int) error {
+	return &errs.Malformed{Sentinel: ErrMalformed, Offset: pos, Kind: "unterminated string"}
+}
+
 // skipString consumes the string starting at the quote at pos without
 // materializing its contents, so value strings longer than a streaming
 // window pass through unhindered.
@@ -310,7 +355,7 @@ func (r *run) skipString(pos int) (end int, err error) {
 	for {
 		b, ok := r.cur.ByteAt(i)
 		if !ok {
-			return 0, fmt.Errorf("%w: unterminated string at offset %d", ErrMalformed, pos)
+			return 0, errUnterminatedString(pos)
 		}
 		switch b {
 		case '"':

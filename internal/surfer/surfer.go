@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rsonpath/internal/automaton"
+	"rsonpath/internal/errs"
 	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 )
@@ -30,7 +31,13 @@ var ErrMalformed = errors.New("surfer: malformed JSON input")
 type Engine struct {
 	dfa        *automaton.DFA
 	needsIndex bool
+	maxDepth   int
 }
+
+// LimitDepth caps the document nesting (and with it the explicit frame
+// stack) the baseline will walk; deeper input aborts the run with a typed
+// *errs.Limit. 0 or negative disables the check. Call before the first Run.
+func (e *Engine) LimitDepth(max int) { e.maxDepth = max }
 
 // New builds a baseline engine for a compiled automaton.
 func New(dfa *automaton.DFA) *Engine {
@@ -86,7 +93,7 @@ type run struct {
 }
 
 func (r *run) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("%w: %s at offset %d", ErrMalformed, fmt.Sprintf(format, args...), r.pos)
+	return &errs.Malformed{Sentinel: ErrMalformed, Offset: r.pos, Kind: fmt.Sprintf(format, args...)}
 }
 
 // Run streams an in-memory document, invoking emit for every match.
@@ -211,11 +218,11 @@ func (r *run) container(state automaton.StateID, isObj bool) error {
 			r.emit(r.pos)
 		}
 		switch c {
-		case '{':
-			stack = append(stack, frame{state: target, isObj: true})
-			r.pos++
-		case '[':
-			stack = append(stack, frame{state: target, isObj: false})
+		case '{', '[':
+			if max := r.e.maxDepth; max > 0 && len(stack) >= max {
+				return errs.DepthLimit(max, r.pos)
+			}
+			stack = append(stack, frame{state: target, isObj: c == '{'})
 			r.pos++
 		default:
 			if err := r.value(target); err != nil {

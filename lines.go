@@ -3,11 +3,11 @@ package rsonpath
 import (
 	"bufio"
 	"bytes"
-	"fmt"
 	"io"
 )
 
-// LineMatch describes the matches of one newline-delimited record.
+// LineMatch describes the outcome of one newline-delimited record: either
+// its matches, or the typed error that made the record unusable.
 type LineMatch struct {
 	// Line is the 1-based record number (empty lines are skipped but
 	// counted).
@@ -18,16 +18,21 @@ type LineMatch struct {
 	// Record, the slice is reused between records and is valid only during
 	// the visit call; copy it to retain it.
 	Offsets []int
+	// Err is non-nil when the record could not be evaluated — typically a
+	// *MalformedError (with offsets relative to the record) or a
+	// *LimitError. The scan skips the bad record and continues with the
+	// next one; matches emitted before the failure are not reported.
+	Err error
 }
 
 // RunLines streams newline-delimited JSON (JSON Lines) from r, evaluating
 // the query against every record with memory bounded by the largest single
 // record — the streaming regime the paper's introduction motivates, applied
-// record-wise. visit is called for each record with at least one match;
-// returning a non-nil error stops the scan and is returned verbatim.
-//
-// Records that are not valid JSON abort the scan with an error naming the
-// line; use visit-side recovery if a dirty feed must be tolerated.
+// record-wise. visit is called for each record with at least one match and
+// for each record that fails to evaluate (LineMatch.Err non-nil, offsets
+// relative to the record); a bad record is skipped and the scan continues
+// with the next line. visit returning a non-nil error stops the scan and is
+// returned verbatim. Only a read error on r itself aborts the scan.
 func (q *Query) RunLines(r io.Reader, visit func(m LineMatch) error) error {
 	br := bufio.NewReaderSize(r, 1<<16)
 	line := 0
@@ -43,11 +48,12 @@ func (q *Query) RunLines(r io.Reader, visit func(m LineMatch) error) error {
 			offs = offs[:0]
 			runErr := q.Run(trimmed, func(pos int) { offs = append(offs, pos) })
 			if runErr != nil {
-				return fmt.Errorf("rsonpath: line %d: %w", line, runErr)
-			}
-			if len(offs) > 0 {
-				if err := visit(LineMatch{Line: line, Record: trimmed, Offsets: offs}); err != nil {
-					return err
+				if verr := visit(LineMatch{Line: line, Record: trimmed, Err: runErr}); verr != nil {
+					return verr
+				}
+			} else if len(offs) > 0 {
+				if verr := visit(LineMatch{Line: line, Record: trimmed, Offsets: offs}); verr != nil {
+					return verr
 				}
 			}
 		}
@@ -61,12 +67,16 @@ func (q *Query) RunLines(r io.Reader, visit func(m LineMatch) error) error {
 }
 
 // CountLines streams newline-delimited JSON from r and returns the total
-// number of matches across all records.
-func (q *Query) CountLines(r io.Reader) (int, error) {
-	total := 0
-	err := q.RunLines(r, func(m LineMatch) error {
+// number of matches across well-formed records, together with the number of
+// records that failed to evaluate (and were skipped).
+func (q *Query) CountLines(r io.Reader) (total, badLines int, err error) {
+	err = q.RunLines(r, func(m LineMatch) error {
+		if m.Err != nil {
+			badLines++
+			return nil
+		}
 		total += len(m.Offsets)
 		return nil
 	})
-	return total, err
+	return total, badLines, err
 }

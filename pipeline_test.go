@@ -1,6 +1,7 @@
 package rsonpath
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -115,27 +116,50 @@ func TestRunLines(t *testing.T) {
 
 func TestCountLines(t *testing.T) {
 	input := `{"a": 1}` + "\n" + `{"a": [1, 2]}` + "\n"
-	n, err := MustCompile("$.a").CountLines(strings.NewReader(input))
+	n, bad, err := MustCompile("$.a").CountLines(strings.NewReader(input))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("count %d", n)
+	if n != 2 || bad != 0 {
+		t.Fatalf("count %d, bad %d", n, bad)
 	}
 }
 
 func TestRunLinesNoTrailingNewline(t *testing.T) {
-	n, err := MustCompile("$.a").CountLines(strings.NewReader(`{"a": 9}`))
-	if err != nil || n != 1 {
-		t.Fatalf("n=%d err=%v", n, err)
+	n, bad, err := MustCompile("$.a").CountLines(strings.NewReader(`{"a": 9}`))
+	if err != nil || n != 1 || bad != 0 {
+		t.Fatalf("n=%d bad=%d err=%v", n, bad, err)
 	}
 }
 
 func TestRunLinesMalformedRecord(t *testing.T) {
-	input := `{"a": 1}` + "\n" + `{"a": ` + "\n"
-	err := MustCompile("$.a").RunLines(strings.NewReader(input), func(LineMatch) error { return nil })
-	if err == nil || !strings.Contains(err.Error(), "line 2") {
-		t.Fatalf("err = %v, want line-2 failure", err)
+	// A malformed record is reported to visit with a typed per-line error
+	// and the scan continues with the following records.
+	input := `{"a": 1}` + "\n" + `{"a": ` + "\n" + `{"a": 3}` + "\n"
+	var badLine int
+	var badErr error
+	total := 0
+	err := MustCompile("$.a").RunLines(strings.NewReader(input), func(m LineMatch) error {
+		if m.Err != nil {
+			badLine = m.Line
+			badErr = m.Err
+			return nil
+		}
+		total += len(m.Offsets)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badLine != 2 {
+		t.Fatalf("bad line %d, want 2", badLine)
+	}
+	var me *MalformedError
+	if !errors.As(badErr, &me) {
+		t.Fatalf("line error = %v, want *MalformedError", badErr)
+	}
+	if total != 2 {
+		t.Fatalf("matches on good lines = %d, want 2", total)
 	}
 }
 
@@ -155,7 +179,7 @@ func TestRunLinesLargeRecords(t *testing.T) {
 	// Records larger than the reader's buffer must still work.
 	big := `{"a": "` + strings.Repeat("x", 1<<18) + `", "b": {"a": 1}}`
 	input := big + "\n" + big + "\n"
-	n, err := MustCompile("$..a").CountLines(strings.NewReader(input))
+	n, _, err := MustCompile("$..a").CountLines(strings.NewReader(input))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,7 @@ type QuerySet struct {
 	sources []string
 	set     *multiquery.Set
 	window  int // RunReader window size; 0 = DefaultStreamWindow
+	limits  limits
 }
 
 // CompileSet parses and compiles a set of JSONPath expressions for one-pass
@@ -56,7 +57,10 @@ func CompileSet(queries []string, opts ...Option) (*QuerySet, error) {
 			return nil, fmt.Errorf("query %d (%s): %w", i, src, err)
 		}
 	}
-	return &QuerySet{sources: sources, set: multiquery.New(dfas), window: c.window}, nil
+	lim := c.resolveLimits()
+	set := multiquery.New(dfas)
+	set.Limits(lim.maxDepth, lim.maxDocBytes)
+	return &QuerySet{sources: sources, set: set, window: c.window, limits: lim}, nil
 }
 
 // MustCompileSet is CompileSet that panics on error, for fixed query sets.
@@ -79,15 +83,23 @@ func (s *QuerySet) Source(i int) string { return s.sources[i] }
 // in document order; matches of different queries at the same offset arrive
 // in query order. Empty and whitespace-only documents yield zero matches
 // and a nil error.
+//
+// Malformed input surfaces as *MalformedError, a configured limit being hit
+// as *LimitError, and an internal fault as *InternalError (never a panic).
 func (s *QuerySet) Run(data []byte, emit func(query, pos int)) error {
-	return s.set.Run(data, emit)
+	if err := s.limits.checkDocBytes(len(data)); err != nil {
+		return err
+	}
+	return guardRun("queryset", func() error {
+		return s.set.Run(data, s.limits.limitEmit2(emit))
+	})
 }
 
 // Counts returns the number of matches of each query, indexed like the
 // queries passed to CompileSet.
 func (s *QuerySet) Counts(data []byte) ([]int, error) {
 	counts := make([]int, s.set.Len())
-	err := s.set.Run(data, func(q, _ int) { counts[q]++ })
+	err := s.Run(data, func(q, _ int) { counts[q]++ })
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +110,7 @@ func (s *QuerySet) Counts(data []byte) ([]int, error) {
 // indexed like the queries passed to CompileSet.
 func (s *QuerySet) MatchOffsets(data []byte) ([][]int, error) {
 	out := make([][]int, s.set.Len())
-	err := s.set.Run(data, func(q, pos int) { out[q] = append(out[q], pos) })
+	err := s.Run(data, func(q, pos int) { out[q] = append(out[q], pos) })
 	if err != nil {
 		return nil, err
 	}

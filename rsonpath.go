@@ -86,6 +86,11 @@ type config struct {
 	opt       Optimizations
 	semantics Semantics
 	window    int // RunReader window size; 0 = DefaultStreamWindow
+
+	// Resource limits (errors.go): 0 = default, negative = unlimited.
+	maxDepth    int
+	maxMatches  int
+	maxDocBytes int
 }
 
 // WithEngine selects the execution engine.
@@ -111,6 +116,7 @@ type Query struct {
 	kind   EngineKind
 	run    runner
 	window int // RunReader window size; 0 = DefaultStreamWindow
+	limits limits
 }
 
 // Compile parses and compiles a JSONPath expression.
@@ -126,26 +132,36 @@ func Compile(query string, opts ...Option) (*Query, error) {
 	if c.semantics == PathSemantics && c.kind != EngineDOM {
 		return nil, errPathSemantics
 	}
-	q := &Query{source: query, parsed: parsed, kind: c.kind, window: c.window}
+	lim := c.resolveLimits()
+	q := &Query{source: query, parsed: parsed, kind: c.kind, window: c.window, limits: lim}
 	switch c.kind {
 	case EngineDOM:
 		sem := dom.NodeSemantics
 		if c.semantics == PathSemantics {
 			sem = dom.PathSemantics
 		}
-		q.run = &domRunner{query: parsed, semantics: sem}
+		q.run = &domRunner{query: parsed, semantics: sem, maxDepth: lim.maxDepth}
 	case EngineSki:
+		// EngineSki is exempt from the depth limit: its recursion is bounded
+		// by the query length and its fast-forwards use O(1) memory.
 		q.run, err = ski.New(parsed)
 	case EngineStackless:
-		q.run, err = engine.NewStackless(parsed)
+		var sl *engine.Stackless
+		sl, err = engine.NewStackless(parsed)
 		if errors.Is(err, engine.ErrNotStackless) {
 			err = ErrUnsupportedQuery
+		}
+		if err == nil {
+			sl.LimitDepth(lim.maxDepth)
+			q.run = sl
 		}
 	case EngineSurfer:
 		var dfa *automaton.DFA
 		dfa, err = automaton.Compile(parsed, automaton.Options{})
 		if err == nil {
-			q.run = surfer.New(dfa)
+			sf := surfer.New(dfa)
+			sf.LimitDepth(lim.maxDepth)
+			q.run = sf
 		}
 	default:
 		var dfa *automaton.DFA
@@ -157,6 +173,8 @@ func Compile(query string, opts ...Option) (*Query, error) {
 				DisableSkipSiblings: c.opt.NoSkipSiblings,
 				DisableSkipLeaves:   c.opt.NoSkipLeaves,
 				EnableTailSkip:      c.opt.TailSkip,
+				MaxDepth:            lim.maxDepth,
+				MaxDocBytes:         lim.maxDocBytes,
 			})
 		}
 	}
@@ -186,21 +204,30 @@ func (q *Query) Engine() EngineKind { return q.kind }
 
 // Run streams the document once, calling emit with the byte offset of the
 // first character of every matched value, in document order.
+//
+// Malformed input surfaces as *MalformedError, a configured limit being hit
+// as *LimitError, and an internal fault as *InternalError (never a panic);
+// see DESIGN.md §9 for the failure model.
 func (q *Query) Run(data []byte, emit func(pos int)) error {
-	return q.run.Run(data, emit)
+	if err := q.limits.checkDocBytes(len(data)); err != nil {
+		return err
+	}
+	return guardRun(q.kind.String(), func() error {
+		return q.run.Run(data, q.limits.limitEmit(emit))
+	})
 }
 
 // Count returns the number of matches in data.
 func (q *Query) Count(data []byte) (int, error) {
 	n := 0
-	err := q.run.Run(data, func(int) { n++ })
+	err := q.Run(data, func(int) { n++ })
 	return n, err
 }
 
 // MatchOffsets returns the byte offsets of all matched values.
 func (q *Query) MatchOffsets(data []byte) ([]int, error) {
 	var out []int
-	err := q.run.Run(data, func(pos int) { out = append(out, pos) })
+	err := q.Run(data, func(pos int) { out = append(out, pos) })
 	return out, err
 }
 
@@ -215,8 +242,11 @@ type stopRun struct{}
 // error (a truncated match means the document cannot be trusted beyond it,
 // and scanning the remainder would be pure waste).
 func (q *Query) MatchValues(data []byte) (out [][]byte, err error) {
+	if err := q.limits.checkDocBytes(len(data)); err != nil {
+		return nil, err
+	}
 	var extractErr error
-	runErr := func() error {
+	runErr := guardRun(q.kind.String(), func() error {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopRun); !ok {
@@ -224,15 +254,15 @@ func (q *Query) MatchValues(data []byte) (out [][]byte, err error) {
 				}
 			}
 		}()
-		return q.run.Run(data, func(pos int) {
+		return q.run.Run(data, q.limits.limitEmit(func(pos int) {
 			v, err := ValueAt(data, pos)
 			if err != nil {
 				extractErr = err
 				panic(stopRun{})
 			}
 			out = append(out, v)
-		})
-	}()
+		}))
+	})
 	if extractErr != nil {
 		return out, extractErr
 	}

@@ -39,12 +39,21 @@ type inputRunner interface {
 // in document order. Memory is bounded by the configured stream window
 // (WithStreamWindow) regardless of document size. Supported by every
 // engine except EngineDOM, which returns ErrStreamingUnsupported.
+//
+// Malformed input surfaces as *MalformedError, a configured limit being hit
+// as *LimitError, and an internal fault as *InternalError (never a panic).
 func (q *Query) RunReader(r io.Reader, emit func(pos int)) error {
 	sr, ok := q.run.(inputRunner)
 	if !ok {
 		return ErrStreamingUnsupported
 	}
-	return sr.RunInput(input.NewBuffered(r, q.window), emit)
+	in := input.NewBuffered(r, q.window)
+	if q.limits.maxDocBytes > 0 {
+		in.LimitDocBytes(q.limits.maxDocBytes)
+	}
+	return guardRun(q.kind.String(), func() error {
+		return sr.RunInput(in, q.limits.limitEmit(emit))
+	})
 }
 
 // RunReaderValues streams a single document from r, calling visit with the
@@ -58,8 +67,11 @@ func (q *Query) RunReaderValues(r io.Reader, visit func(pos int, value []byte)) 
 		return ErrStreamingUnsupported
 	}
 	in := input.NewBuffered(r, q.window)
+	if q.limits.maxDocBytes > 0 {
+		in.LimitDocBytes(q.limits.maxDocBytes)
+	}
 	var extractErr error
-	runErr := func() (err error) {
+	runErr := guardRun(q.kind.String(), func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopRun); !ok {
@@ -67,15 +79,15 @@ func (q *Query) RunReaderValues(r io.Reader, visit func(pos int, value []byte)) 
 				}
 			}
 		}()
-		return sr.RunInput(in, func(pos int) {
+		return sr.RunInput(in, q.limits.limitEmit(func(pos int) {
 			v, err := valueBytesAt(in, pos)
 			if err != nil {
 				extractErr = err
 				panic(stopRun{})
 			}
 			visit(pos, v)
-		})
-	}()
+		}))
+	})
 	if extractErr != nil {
 		return extractErr
 	}
@@ -173,5 +185,11 @@ func valueBytesAt(in input.Input, pos int) ([]byte, error) {
 // offset of every matched value. Memory is bounded by the configured
 // stream window regardless of document size.
 func (s *QuerySet) RunReader(r io.Reader, emit func(query, pos int)) error {
-	return s.set.RunInput(input.NewBuffered(r, s.window), emit)
+	in := input.NewBuffered(r, s.window)
+	if s.limits.maxDocBytes > 0 {
+		in.LimitDocBytes(s.limits.maxDocBytes)
+	}
+	return guardRun("queryset", func() error {
+		return s.set.RunInput(in, s.limits.limitEmit2(emit))
+	})
 }
