@@ -4,7 +4,10 @@ package rsonpath_test
 // drive it the way a user would.
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -217,6 +220,48 @@ func TestCLIRsonpathLines(t *testing.T) {
 	}
 }
 
+func TestCLIRsonpathLinesParallel(t *testing.T) {
+	bin := buildTool(t, "rsonpath")
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, `{"a": %d}`+"\n", i)
+		if i%50 == 0 {
+			sb.WriteString(`{"a": ` + "\n") // malformed record
+		}
+	}
+	input := sb.String()
+
+	seq := exec.Command(bin, "-lines", "$.a")
+	seq.Stdin = strings.NewReader(input)
+	seqOut, err := seq.Output()
+	var seqExit *exec.ExitError
+	if err != nil && !errors.As(err, &seqExit) {
+		t.Fatal(err)
+	}
+
+	par := exec.Command(bin, "-lines", "-parallel", "4", "$.a")
+	par.Stdin = strings.NewReader(input)
+	parOut, err := par.Output()
+	var parExit *exec.ExitError
+	if err != nil && !errors.As(err, &parExit) {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(seqOut, parOut) {
+		t.Fatalf("parallel output differs from sequential:\n%q\nvs\n%q", parOut, seqOut)
+	}
+	seqCode, parCode := 0, 0
+	if seqExit != nil {
+		seqCode = seqExit.ExitCode()
+	}
+	if parExit != nil {
+		parCode = parExit.ExitCode()
+	}
+	if seqCode != parCode || seqCode != 3 {
+		t.Fatalf("exit codes: sequential %d, parallel %d, want both 3 (malformed records)", seqCode, parCode)
+	}
+}
+
 func TestCLIRsonpathMultiQuery(t *testing.T) {
 	bin := buildTool(t, "rsonpath")
 	doc := filepath.Join(t.TempDir(), "doc.json")
@@ -328,6 +373,48 @@ func TestCLIRsonbenchMultiQueryJSON(t *testing.T) {
 			if _, ok := r[field]; !ok {
 				t.Fatalf("record %v missing field %q", r["id"], field)
 			}
+		}
+	}
+}
+
+func TestCLIRsonbenchParallelLinesJSON(t *testing.T) {
+	bin := buildTool(t, "rsonbench")
+	dir := t.TempDir()
+
+	out, err := exec.Command(bin, "-exp", "parallel_lines", "-scale", "0.02", "-samples", "1", "-json", dir).Output()
+	if err != nil {
+		t.Fatalf("rsonbench parallel_lines: %v", err)
+	}
+	for _, want := range []string{"PL", "workers", "speedup"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("parallel_lines output missing %s:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_parallel_lines.json"))
+	if err != nil {
+		t.Fatalf("BENCH_parallel_lines.json not written: %v", err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("BENCH_parallel_lines.json is not valid JSON: %v", err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("expected a sequential baseline plus at least one pool width, got %d records", len(results))
+	}
+	var matches []any
+	for _, r := range results {
+		for _, field := range []string{"id", "dataset", "query", "workers", "records",
+			"bytes", "matches", "seconds", "gbps", "speedup"} {
+			if _, ok := r[field]; !ok {
+				t.Fatalf("record %v missing field %q", r, field)
+			}
+		}
+		matches = append(matches, r["matches"])
+	}
+	for _, m := range matches[1:] {
+		if m != matches[0] {
+			t.Fatalf("match counts disagree across widths: %v", matches)
 		}
 	}
 }

@@ -128,3 +128,71 @@ func TestCLILinesAllGood(t *testing.T) {
 		t.Fatalf("code %d out %q stderr %q", code, out, stderr)
 	}
 }
+
+func TestCLISupervisorFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-parallel", "4", "$.a"},         // -parallel without -lines
+		{"-fallback", "sometimes", "$.a"}, // unknown fallback mode
+		{"-timeout", "not-a-duration", "$.a"},
+	} {
+		code, _, _ := cli(t, "{}", args...)
+		if code != exitUsage {
+			t.Fatalf("args %v: code %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestCLILinesParallel(t *testing.T) {
+	// The worker pool must deliver in input order and skip bad records with
+	// the same reporting as the sequential path.
+	input := `{"a": 1}` + "\n" + `{"a": ` + "\n" + `{"a": 3}` + "\n" + `{"a": [4, 5]}` + "\n"
+	seqCode, seqOut, _ := cli(t, input, "-lines", "$.a")
+	for _, workers := range []string{"0", "2", "4"} {
+		code, out, stderr := cli(t, input, "-lines", "-parallel", workers, "$.a")
+		if code != seqCode || out != seqOut {
+			t.Fatalf("-parallel %s: code %d out %q, want code %d out %q",
+				workers, code, out, seqCode, seqOut)
+		}
+		if !strings.Contains(stderr, "line 2") {
+			t.Fatalf("-parallel %s: stderr %q does not report the bad line", workers, stderr)
+		}
+	}
+}
+
+func TestCLISupervisedFileRun(t *testing.T) {
+	// Count and offsets modes over a named file take the supervised path;
+	// a clean run must be indistinguishable from the direct one.
+	path := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(path, []byte(`{"a": 1, "b": {"a": 2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := cli(t, "", "-count", "$..a", path)
+	if code != exitOK || out != "2\n" || stderr != "" {
+		t.Fatalf("count: code %d out %q stderr %q", code, out, stderr)
+	}
+	code, out, _ = cli(t, "", "-offsets", "$..a", path)
+	if code != exitOK || out != "6\n20\n" {
+		t.Fatalf("offsets: code %d out %q", code, out)
+	}
+	code, out, _ = cli(t, "", "-timeout", "5s", "-fallback", "off", "-count", "$..a", path)
+	if code != exitOK || out != "2\n" {
+		t.Fatalf("with supervisor flags: code %d out %q", code, out)
+	}
+}
+
+func TestCLITimeoutExpires(t *testing.T) {
+	// A deadline that cannot be met aborts the run with a non-zero exit and
+	// a cancellation report rather than hanging.
+	path := filepath.Join(t.TempDir(), "doc.json")
+	big := `{"a": [` + strings.Repeat(`{"b": 1}, `, 1<<15) + `{"b": 1}]}`
+	if err := os.WriteFile(path, []byte(big), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := cli(t, "", "-timeout", "1ns", "-count", "$..b", path)
+	if code == exitOK {
+		t.Fatalf("expired deadline exited 0 (stderr %q)", stderr)
+	}
+	if !strings.Contains(stderr, "cancel") && !strings.Contains(stderr, "deadline") {
+		t.Fatalf("stderr %q does not report the deadline", stderr)
+	}
+}

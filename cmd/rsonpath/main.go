@@ -16,10 +16,18 @@
 //	rsonpath -e '$..name' -e '$..id' products.json
 //	rsonpath -queries queries.txt -count products.json
 //	rsonpath -max-matches 10 '$..id' huge.json   # stop after ten matches
+//	rsonpath -timeout 2s -count '$..id' huge.json    # watchdog deadline
+//	rsonpath -lines -parallel 4 '$.event' log.jsonl  # worker pool
 //
 // With -e or -queries the queries are compiled into a QuerySet and the
 // document is scanned once for all of them; every output line is prefixed
 // with the zero-based index of the query it belongs to ("2:...").
+//
+// Runs over a named file (count and offsets modes) execute under the
+// execution supervisor: an internal fault in the chosen engine transparently
+// re-runs the query on the DOM oracle (disable with -fallback off). A run
+// answered by the fallback prints a warning to stderr and exits with code 6,
+// so pipelines can tell a degraded success from a clean one.
 //
 // Exit codes:
 //
@@ -29,10 +37,12 @@
 //	3  malformed JSON input (the byte offset is printed to stderr)
 //	4  a configured resource limit was exceeded
 //	5  internal error (a contained library fault; please report it)
+//	6  answered, but by the DOM fallback after an internal fault
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,6 +61,7 @@ const (
 	exitMalformed = 3
 	exitLimit     = 4
 	exitInternal  = 5
+	exitDegraded  = 6
 )
 
 // queryList collects repeated -e flags.
@@ -82,13 +93,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		maxDepth = fs.Int("max-depth", 0, "document nesting limit (0 = default, negative = unlimited)")
 		maxMatch = fs.Int("max-matches", 0, "stop with an error after this many matches (0 = unlimited)")
 		maxBytes = fs.Int("max-doc-bytes", 0, "largest document size accepted, in bytes (0 = unlimited)")
+		timeout  = fs.Duration("timeout", 0, "watchdog deadline per run (per record with -lines; 0 = none)")
+		fallback = fs.String("fallback", "on", "degrade to the DOM oracle on internal faults: on or off")
+		parallel = fs.Int("parallel", 1, "with -lines: evaluate records with this many workers (0 = GOMAXPROCS)")
 	)
 	fs.Var(&exprs, "e", "query expression (repeatable; scans the document once for all queries)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: rsonpath [flags] <query> [file]\n")
 		fmt.Fprintf(stderr, "       rsonpath [flags] -e <query> [-e <query>...] [-queries file] [file]\n")
 		fs.PrintDefaults()
-		fmt.Fprintf(stderr, "exit codes: 0 success, 1 I/O failure, 2 usage, 3 malformed input, 4 limit exceeded, 5 internal error\n")
+		fmt.Fprintf(stderr, "exit codes: 0 success, 1 I/O failure, 2 usage, 3 malformed input, 4 limit exceeded, 5 internal error, 6 degraded to fallback\n")
 	}
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -131,6 +145,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *maxBytes != 0 {
 		opts = append(opts, rsonpath.WithMaxDocBytes(*maxBytes))
 	}
+	if *timeout > 0 {
+		opts = append(opts, rsonpath.WithTimeout(*timeout))
+	}
+	switch *fallback {
+	case "on":
+	case "off":
+		opts = append(opts, rsonpath.WithFallback(rsonpath.FallbackOff))
+	default:
+		fmt.Fprintf(stderr, "rsonpath: -fallback must be on or off, not %q\n", *fallback)
+		return exitUsage
+	}
+	if *parallel != 1 && !*lines {
+		fmt.Fprintln(stderr, "rsonpath: -parallel requires -lines")
+		return exitUsage
+	}
 
 	var in io.Reader = stdin
 	if file != "" && file != "-" {
@@ -168,7 +197,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *lines {
-		return runLines(q, in, out, stderr, *count, *offsets)
+		return runLines(q, in, out, stderr, *count, *offsets, *parallel)
 	}
 
 	if kind == rsonpath.EngineDOM {
@@ -177,8 +206,38 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return exitOK
 	}
+	if file != "" && file != "-" && (*count || *offsets) {
+		// A named file can be reopened, so the degradation ladder can re-run
+		// the query from the start on an internal fault.
+		return runOneSupervised(q, file, out, stderr, *count)
+	}
 	if err := runOne(q, in, out, *count, *offsets); err != nil {
 		return fail(stderr, err)
+	}
+	return exitOK
+}
+
+// runOneSupervised evaluates count or offsets mode over a reopenable file
+// under the execution supervisor. Output is delivered only once the run
+// settles; a degraded run warns on stderr and exits with exitDegraded.
+func runOneSupervised(q *rsonpath.Query, path string, out *bufio.Writer, stderr io.Writer, count bool) int {
+	open := func() (io.Reader, error) { return os.Open(path) }
+	n := 0
+	emit := func(pos int) { fmt.Fprintln(out, pos) }
+	if count {
+		emit = func(int) { n++ }
+	}
+	oc, err := q.RunReaderSupervised(context.Background(), open, emit)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if count {
+		fmt.Fprintln(out, n)
+	}
+	if oc.Degraded() {
+		fmt.Fprintf(stderr, "rsonpath: degraded to the %s oracle after %d attempt(s): %v\n",
+			oc.Engine, oc.Attempts, oc.FallbackReason)
+		return exitDegraded
 	}
 	return exitOK
 }
@@ -343,22 +402,31 @@ func readQueryFile(path string) ([]string, error) {
 	return queries, nil
 }
 
-// runLines streams newline-delimited records with bounded memory. A record
-// that fails to evaluate is reported to stderr with its line number and
-// skipped; the scan continues, and the exit code reflects the worst record
-// seen (malformed input wins over a tripped limit).
-func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, stderr io.Writer, count, offsets bool) int {
+// runLines streams newline-delimited records with bounded memory, with a
+// worker pool when workers != 1. A record that fails to evaluate is reported
+// to stderr with its line number and skipped; a record rescued by the
+// degradation ladder is reported but its matches still count. The scan
+// continues either way, and the exit code reflects the worst record seen
+// (malformed input wins over a tripped limit; a degraded record alone yields
+// exitDegraded).
+func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, stderr io.Writer, count, offsets bool, workers int) int {
 	total := 0
 	bad := 0
+	degraded := 0
 	code := exitOK
-	err := q.RunLines(in, func(m rsonpath.LineMatch) error {
+	visit := func(m rsonpath.LineMatch) error {
 		if m.Err != nil {
 			bad++
 			fmt.Fprintf(stderr, "rsonpath: line %d: %v\n", m.Line, m.Err)
-			if c := fail(io.Discard, m.Err); code == exitOK || c == exitMalformed {
+			if c := fail(io.Discard, m.Err); code == exitOK || code == exitDegraded || c == exitMalformed {
 				code = c
 			}
 			return nil
+		}
+		if m.Outcome != nil && m.Outcome.Degraded() {
+			degraded++
+			fmt.Fprintf(stderr, "rsonpath: line %d: degraded to the %s oracle: %v\n",
+				m.Line, m.Outcome.Engine, m.Outcome.FallbackReason)
 		}
 		switch {
 		case count:
@@ -378,7 +446,13 @@ func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, stderr io.Writ
 			}
 		}
 		return nil
-	})
+	}
+	var err error
+	if workers == 1 {
+		err = q.RunLines(in, visit)
+	} else {
+		err = q.RunLinesParallel(in, workers, visit)
+	}
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -387,6 +461,9 @@ func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, stderr io.Writ
 	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "rsonpath: %d record(s) skipped\n", bad)
+	}
+	if code == exitOK && degraded > 0 {
+		code = exitDegraded
 	}
 	return code
 }

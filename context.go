@@ -31,13 +31,18 @@ type ctxReader struct {
 	req chan int        // capacity requests to the pump
 	res chan readResult // completed reads, buffered so the pump never leaks
 	err error           // sticky error after cancellation
+	// pumpDone is closed when the pump goroutine exits; the goroutine-leak
+	// regression tests wait on it to prove the pump winds down within one
+	// read of stop().
+	pumpDone chan struct{}
 }
 
 func newCtxReader(ctx context.Context, r io.Reader) *ctxReader {
 	c := &ctxReader{
-		ctx: ctx,
-		req: make(chan int),
-		res: make(chan readResult, 1),
+		ctx:      ctx,
+		req:      make(chan int),
+		res:      make(chan readResult, 1),
+		pumpDone: make(chan struct{}),
 	}
 	go c.pump(r)
 	return c
@@ -48,6 +53,7 @@ func newCtxReader(ctx context.Context, r io.Reader) *ctxReader {
 // written while read — the request/response channels provide the
 // happens-before edges.
 func (c *ctxReader) pump(r io.Reader) {
+	defer close(c.pumpDone)
 	var buf []byte
 	for size := range c.req {
 		if cap(buf) < size {
@@ -90,6 +96,11 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, emit func(pos
 	if !ok {
 		return ErrStreamingUnsupported
 	}
+	if q.sup.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.sup.timeout)
+		defer cancel()
+	}
 	if err := ctx.Err(); err != nil {
 		return convertErr(err)
 	}
@@ -107,6 +118,11 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, emit func(pos
 // RunReaderContext is QuerySet.RunReader with cancellation, with the same
 // contract as Query.RunReaderContext.
 func (s *QuerySet) RunReaderContext(ctx context.Context, r io.Reader, emit func(query, pos int)) error {
+	if s.sup.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.sup.timeout)
+		defer cancel()
+	}
 	if err := ctx.Err(); err != nil {
 		return convertErr(err)
 	}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"rsonpath"
+)
+
+// ParallelSpec is one JSON Lines worker-pool workload: a descendant-heavy
+// query over an NDJSON stream of records, swept across pool widths and
+// compared against the sequential RunLines scan of the same stream.
+type ParallelSpec struct {
+	// ID keys the workload.
+	ID string
+	// Dataset is the jsongen profile whose top-level items become the
+	// NDJSON records.
+	Dataset string
+	// Query is evaluated against every record.
+	Query string
+	// Workers are the pool widths to sweep; 0 is replaced by GOMAXPROCS.
+	Workers []int
+}
+
+// ParallelSpecs is the worker-pool sweep: the paper's Experiment D query
+// applied record-wise (the streaming regime of the introduction), where
+// each record is an independent document and the pool's only job is to
+// overlap their classification passes.
+var ParallelSpecs = []ParallelSpec{
+	{"PL", "crossref", "$..affiliation..name", []int{1, 2, 4, 0}},
+}
+
+// ParallelResult is one parallel-lines measurement, serialisable as a
+// BENCH_parallel_lines.json record. Workers 0 is the sequential RunLines
+// baseline; every other row is the pool at that width, with Speedup
+// relative to the baseline.
+type ParallelResult struct {
+	ID      string  `json:"id"`
+	Dataset string  `json:"dataset"`
+	Query   string  `json:"query"`
+	Workers int     `json:"workers"`
+	Records int     `json:"records"`
+	Bytes   int     `json:"bytes"`
+	Matches int     `json:"matches"`
+	Seconds float64 `json:"seconds"`
+	GBps    float64 `json:"gbps"`
+	Speedup float64 `json:"speedup"`
+}
+
+// linesDataset converts a generated dataset's top-level items into an
+// NDJSON stream, one compacted record per line.
+func (h *Harness) linesDataset(name string) ([]byte, int, error) {
+	data, err := h.Dataset(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	q, err := rsonpath.Compile("$.items[*]")
+	if err != nil {
+		return nil, 0, err
+	}
+	vals, err := q.MatchValues(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	for _, v := range vals {
+		if err := json.Compact(&buf, v); err != nil {
+			return nil, 0, err
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), len(vals), nil
+}
+
+// RunParallelLines measures every workload sequentially and at each pool
+// width. All runs must agree on the total match count; a mismatch is an
+// error, not a benchmark result.
+func (h *Harness) RunParallelLines(specs []ParallelSpec) ([]ParallelResult, error) {
+	var out []ParallelResult
+	for _, spec := range specs {
+		nd, records, err := h.linesDataset(spec.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		q, err := rsonpath.Compile(spec.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		countLines := func(run func(visit func(m rsonpath.LineMatch) error) error) (int, error) {
+			n := 0
+			err := run(func(m rsonpath.LineMatch) error {
+				if m.Err != nil {
+					return m.Err
+				}
+				n += len(m.Offsets)
+				return nil
+			})
+			return n, err
+		}
+
+		seq, err := h.MeasureFunc(len(nd), func() (int, error) {
+			return countLines(func(v func(m rsonpath.LineMatch) error) error {
+				return q.RunLines(bytes.NewReader(nd), v)
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s sequential: %w", spec.ID, err)
+		}
+		row := func(workers int, r Result) ParallelResult {
+			p := ParallelResult{
+				ID: spec.ID, Dataset: spec.Dataset, Query: spec.Query,
+				Workers: workers, Records: records, Bytes: len(nd),
+				Matches: r.Matches, Seconds: r.Mean.Seconds(), GBps: r.GBps,
+			}
+			if p.Seconds > 0 {
+				p.Speedup = seq.Mean.Seconds() / p.Seconds
+			}
+			return p
+		}
+		out = append(out, row(0, seq))
+
+		seen := map[int]bool{}
+		for _, w := range spec.Workers {
+			if w <= 0 {
+				w = runtime.GOMAXPROCS(0)
+			}
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			w := w
+			par, err := h.MeasureFunc(len(nd), func() (int, error) {
+				return countLines(func(v func(m rsonpath.LineMatch) error) error {
+					return q.RunLinesParallel(bytes.NewReader(nd), w, v)
+				})
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", spec.ID, w, err)
+			}
+			if par.Matches != seq.Matches {
+				return nil, fmt.Errorf("%s workers=%d: %d matches, sequential %d",
+					spec.ID, w, par.Matches, seq.Matches)
+			}
+			out = append(out, row(w, par))
+		}
+	}
+	return out, nil
+}

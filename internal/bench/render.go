@@ -169,3 +169,19 @@ func orderedEngines(results []Result) []string {
 	}
 	return out
 }
+
+// RenderParallelLines prints the parallel-lines sweep; the workers=0 row is
+// the sequential RunLines baseline.
+func RenderParallelLines(w io.Writer, results []ParallelResult) {
+	fmt.Fprintf(w, "%-6s %-10s %8s %8s %10s %10s %9s\n",
+		"id", "dataset", "workers", "records", "matches", "GB/s", "speedup")
+	for _, r := range results {
+		workers := fmt.Sprint(r.Workers)
+		if r.Workers == 0 {
+			workers = "seq"
+		}
+		fmt.Fprintf(w, "%-6s %-10s %8s %8d %10d %10.3f %8.2fx\n",
+			r.ID, r.Dataset, workers, r.Records, r.Matches, r.GBps, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,227 @@
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var (
+	errTransient = errors.New("transient")
+	errInternal  = errors.New("internal fault")
+	errFatal     = errors.New("fatal")
+)
+
+// attemptScript returns an Attempt that yields the scripted errors in order
+// (sticking on the last one) and counts its runs.
+func attemptScript(name string, runs *int, script ...error) Attempt {
+	return Attempt{Engine: name, Run: func(context.Context) error {
+		i := *runs
+		*runs++
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		return script[i]
+	}}
+}
+
+func noSleep(t *testing.T, slept *int) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*slept++
+		return ctx.Err()
+	}
+}
+
+func TestCleanFirstAttempt(t *testing.T) {
+	runs := 0
+	o, err := Run(context.Background(), Policy{}, attemptScript("fast", &runs, nil), nil)
+	if err != nil || runs != 1 {
+		t.Fatalf("err %v runs %d", err, runs)
+	}
+	if o.Attempts != 1 || o.Engine != "fast" || o.Degraded() {
+		t.Fatalf("outcome %+v", o)
+	}
+	if o.Duration < 0 {
+		t.Fatalf("negative duration %v", o.Duration)
+	}
+}
+
+func TestRetryThenSuccess(t *testing.T) {
+	runs, slept := 0, 0
+	p := Policy{
+		RetryMax:  3,
+		Retryable: func(err error) bool { return errors.Is(err, errTransient) },
+		Sleep:     noSleep(t, &slept),
+	}
+	o, err := Run(context.Background(), p, attemptScript("fast", &runs, errTransient, errTransient, nil), nil)
+	if err != nil {
+		t.Fatalf("err %v", err)
+	}
+	if runs != 3 || o.Attempts != 3 || slept != 2 {
+		t.Fatalf("runs %d attempts %d slept %d", runs, o.Attempts, slept)
+	}
+	if o.Degraded() {
+		t.Fatalf("retry must not count as degradation: %+v", o)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	runs, slept := 0, 0
+	p := Policy{
+		RetryMax:  2,
+		Retryable: func(err error) bool { return errors.Is(err, errTransient) },
+		Sleep:     noSleep(t, &slept),
+	}
+	_, err := Run(context.Background(), p, attemptScript("fast", &runs, errTransient), nil)
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err %v", err)
+	}
+	if runs != 3 { // 1 + RetryMax
+		t.Fatalf("runs %d", runs)
+	}
+}
+
+func TestNonRetryableNotRetried(t *testing.T) {
+	runs := 0
+	p := Policy{RetryMax: 5, Retryable: func(err error) bool { return errors.Is(err, errTransient) }}
+	_, err := Run(context.Background(), p, attemptScript("fast", &runs, errFatal), nil)
+	if !errors.Is(err, errFatal) || runs != 1 {
+		t.Fatalf("err %v runs %d", err, runs)
+	}
+}
+
+func TestFallbackRescues(t *testing.T) {
+	pruns, fruns := 0, 0
+	p := Policy{Degradable: func(err error) bool { return errors.Is(err, errInternal) }}
+	fb := attemptScript("oracle", &fruns, nil)
+	o, err := Run(context.Background(), p, attemptScript("fast", &pruns, errInternal), &fb)
+	if err != nil {
+		t.Fatalf("err %v", err)
+	}
+	if pruns != 1 || fruns != 1 || o.Attempts != 2 {
+		t.Fatalf("pruns %d fruns %d attempts %d", pruns, fruns, o.Attempts)
+	}
+	if o.Engine != "oracle" || !errors.Is(o.FallbackReason, errInternal) {
+		t.Fatalf("outcome %+v", o)
+	}
+}
+
+func TestFallbackErrorWins(t *testing.T) {
+	pruns, fruns := 0, 0
+	p := Policy{Degradable: func(err error) bool { return errors.Is(err, errInternal) }}
+	fb := attemptScript("oracle", &fruns, errFatal)
+	o, err := Run(context.Background(), p, attemptScript("fast", &pruns, errInternal), &fb)
+	if !errors.Is(err, errFatal) {
+		t.Fatalf("err %v, want the oracle's verdict", err)
+	}
+	if o.Engine != "oracle" || !errors.Is(o.FallbackReason, errInternal) || o.Attempts != 2 {
+		t.Fatalf("outcome %+v", o)
+	}
+}
+
+func TestFallbackOff(t *testing.T) {
+	pruns, fruns := 0, 0
+	p := Policy{FallbackOff: true, Degradable: func(error) bool { return true }}
+	fb := attemptScript("oracle", &fruns, nil)
+	_, err := Run(context.Background(), p, attemptScript("fast", &pruns, errInternal), &fb)
+	if !errors.Is(err, errInternal) || fruns != 0 {
+		t.Fatalf("err %v fruns %d", err, fruns)
+	}
+}
+
+func TestNonDegradableNotLaddered(t *testing.T) {
+	pruns, fruns := 0, 0
+	p := Policy{Degradable: func(err error) bool { return errors.Is(err, errInternal) }}
+	fb := attemptScript("oracle", &fruns, nil)
+	o, err := Run(context.Background(), p, attemptScript("fast", &pruns, errFatal), &fb)
+	if !errors.Is(err, errFatal) || fruns != 0 || o.Degraded() {
+		t.Fatalf("err %v fruns %d outcome %+v", err, fruns, o)
+	}
+}
+
+func TestRetriesThenFallback(t *testing.T) {
+	pruns, fruns, slept := 0, 0, 0
+	p := Policy{
+		RetryMax:   1,
+		Retryable:  func(err error) bool { return errors.Is(err, errTransient) },
+		Degradable: func(err error) bool { return errors.Is(err, errInternal) },
+		Sleep:      noSleep(t, &slept),
+	}
+	fb := attemptScript("oracle", &fruns, nil)
+	o, err := Run(context.Background(), p, attemptScript("fast", &pruns, errTransient, errInternal), &fb)
+	if err != nil {
+		t.Fatalf("err %v", err)
+	}
+	if pruns != 2 || fruns != 1 || o.Attempts != 3 {
+		t.Fatalf("pruns %d fruns %d attempts %d", pruns, fruns, o.Attempts)
+	}
+}
+
+func TestCanceledContextStopsLadder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pruns, fruns := 0, 0
+	p := Policy{
+		RetryMax:   5,
+		Retryable:  func(error) bool { return true },
+		Degradable: func(error) bool { return true },
+	}
+	primary := Attempt{Engine: "fast", Run: func(ctx context.Context) error {
+		pruns++
+		cancel() // the attempt observes cancellation mid-run
+		return errInternal
+	}}
+	fb := attemptScript("oracle", &fruns, nil)
+	_, err := Run(ctx, p, primary, &fb)
+	if !errors.Is(err, errInternal) {
+		t.Fatalf("err %v", err)
+	}
+	if pruns != 1 || fruns != 0 {
+		t.Fatalf("canceled context must stop retries and fallback: pruns %d fruns %d", pruns, fruns)
+	}
+}
+
+func TestTimeoutAppliesToAttemptContext(t *testing.T) {
+	p := Policy{Timeout: 10 * time.Millisecond, Degradable: func(error) bool { return true }}
+	fruns := 0
+	primary := Attempt{Engine: "fast", Run: func(ctx context.Context) error {
+		<-ctx.Done() // a hung engine: only the deadline frees it
+		return ctx.Err()
+	}}
+	fb := attemptScript("oracle", &fruns, nil)
+	o, err := Run(context.Background(), p, primary, &fb)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v", err)
+	}
+	if fruns != 0 {
+		t.Fatalf("deadline expiry must not trigger the fallback (fruns %d)", fruns)
+	}
+	if o.Attempts != 1 {
+		t.Fatalf("attempts %d", o.Attempts)
+	}
+}
+
+func TestBackoffObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	runs := 0
+	p := Policy{
+		RetryMax:     3,
+		RetryBackoff: time.Hour,
+		Retryable:    func(error) bool { return true },
+	}
+	primary := Attempt{Engine: "fast", Run: func(context.Context) error {
+		runs++
+		time.AfterFunc(10*time.Millisecond, cancel)
+		return errTransient
+	}}
+	done := make(chan error, 1)
+	go func() { _, err := Run(ctx, p, primary, nil); done <- err }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errTransient) || runs != 1 {
+			t.Fatalf("err %v runs %d", err, runs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backoff ignored cancellation")
+	}
+}

@@ -1,0 +1,329 @@
+package rsonpath
+
+// Fault suite for the JSON Lines worker pool: the parallel scan must be
+// byte-identical (line numbers, offsets, error classes, degradations) to
+// the sequential one at every worker count, deliver in input order, bound
+// its concurrency, isolate per-record faults, and leave no goroutine
+// behind after a mid-stream stop.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rsonpath/internal/input"
+)
+
+// corpusNDJSON compacts every compliance document onto one line and
+// interleaves malformed and empty records, so one stream exercises matches,
+// misses, and per-record failures together.
+func corpusNDJSON(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	var buf bytes.Buffer
+	for i, c := range allFaultCases() {
+		buf.Reset()
+		if err := json.Compact(&buf, []byte(c.doc)); err != nil {
+			t.Fatalf("compact %s: %v", c.name, err)
+		}
+		sb.Write(buf.Bytes())
+		sb.WriteByte('\n')
+		if i%5 == 0 {
+			sb.WriteString("{\"a\": \n") // malformed record
+		}
+		if i%7 == 0 {
+			sb.WriteString("\n") // empty record: counted, skipped
+		}
+	}
+	return sb.String()
+}
+
+// lineRecord is one visit call flattened for comparison.
+type lineRecord struct {
+	line     int
+	offsets  string
+	errClass string
+	degraded bool
+}
+
+func errClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var me *MalformedError
+	var le *LimitError
+	var ie *InternalError
+	switch {
+	case errors.As(err, &me):
+		return "malformed"
+	case errors.As(err, &le):
+		return "limit"
+	case errors.As(err, &ie):
+		return "internal"
+	default:
+		return "other"
+	}
+}
+
+func collectLines(t *testing.T, run func(visit func(m LineMatch) error) error) []lineRecord {
+	t.Helper()
+	var out []lineRecord
+	if err := run(func(m LineMatch) error {
+		out = append(out, lineRecord{
+			line:     m.Line,
+			offsets:  fmt.Sprint(m.Offsets),
+			errClass: errClass(m.Err),
+			degraded: m.Outcome != nil && m.Outcome.Degraded(),
+		})
+		return nil
+	}); err != nil {
+		t.Fatalf("lines run: %v", err)
+	}
+	return out
+}
+
+func sameLineRecords(a, b []lineRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunLinesParallelMatchesSequential sweeps the compliance corpus as one
+// NDJSON stream through the worker pool at several widths and requires the
+// delivered stream to be identical to the sequential scan's.
+func TestRunLinesParallelMatchesSequential(t *testing.T) {
+	ndjson := corpusNDJSON(t)
+	for _, query := range []string{"$..a", "$.a", "$..b", "$[*]"} {
+		q := MustCompile(query)
+		want := collectLines(t, func(v func(m LineMatch) error) error {
+			return q.RunLines(strings.NewReader(ndjson), v)
+		})
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			workers := workers
+			got := collectLines(t, func(v func(m LineMatch) error) error {
+				return q.RunLinesParallel(strings.NewReader(ndjson), workers, v)
+			})
+			if !sameLineRecords(got, want) {
+				t.Fatalf("[%s workers=%d] parallel stream differs from sequential:\n got %v\nwant %v",
+					query, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestRunLinesParallelInOrder forces out-of-order completion — early
+// records far heavier than late ones — and requires delivery in input
+// order regardless.
+func TestRunLinesParallelInOrder(t *testing.T) {
+	var sb strings.Builder
+	const records = 200
+	for i := 0; i < records; i++ {
+		if i < 20 {
+			fmt.Fprintf(&sb, `{"pad": %q, "a": %d}`+"\n", strings.Repeat("x", 1<<14), i)
+		} else {
+			fmt.Fprintf(&sb, `{"a": %d}`+"\n", i)
+		}
+	}
+	q := MustCompile("$.a")
+	var lines []int
+	err := q.RunLinesParallel(strings.NewReader(sb.String()), 8, func(m LineMatch) error {
+		lines = append(lines, m.Line)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != records {
+		t.Fatalf("%d records delivered, want %d", len(lines), records)
+	}
+	for i, line := range lines {
+		if line != i+1 {
+			t.Fatalf("delivery out of order: position %d got line %d", i, line)
+		}
+	}
+}
+
+// countingRunner tracks how many Run calls are in flight at once.
+type countingRunner struct {
+	inner    runner
+	cur, max atomic.Int32
+}
+
+func (c *countingRunner) Run(data []byte, emit func(pos int)) error {
+	n := c.cur.Add(1)
+	for {
+		m := c.max.Load()
+		if n <= m || c.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	defer c.cur.Add(-1)
+	return c.inner.Run(data, emit)
+}
+
+func (c *countingRunner) RunInput(in input.Input, emit func(pos int)) error {
+	return c.Run(nil, emit) // not exercised: records stay under one window
+}
+
+// TestRunLinesParallelBoundsConcurrency: the pool never evaluates more
+// records at once than it has workers.
+func TestRunLinesParallelBoundsConcurrency(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, `{"a": [%d, %d]}`+"\n", i, i)
+	}
+	const workers = 2
+	q := MustCompile("$.a[*]")
+	cr := &countingRunner{inner: q.run}
+	q.run = cr
+	err := q.RunLinesParallel(strings.NewReader(sb.String()), workers, func(LineMatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent evaluations, pool width %d", got, workers)
+	}
+}
+
+// TestRunLinesParallelFaultIsolation injects an engine fault that fires on
+// every record: each record must degrade to the DOM oracle independently
+// and the delivered stream must equal the oracle's per-record answers.
+func TestRunLinesParallelFaultIsolation(t *testing.T) {
+	var sb strings.Builder
+	const records = 60
+	for i := 0; i < records; i++ {
+		fmt.Fprintf(&sb, `{"a": %d, "b": {"a": %d}}`+"\n", i, i+1000)
+	}
+	oracle := MustCompile("$..a", WithEngine(EngineDOM))
+	want := collectLines(t, func(v func(m LineMatch) error) error {
+		return oracle.RunLines(strings.NewReader(sb.String()), v)
+	})
+	q := MustCompile("$..a")
+	q.run = &faultyRunner{inner: q.run, failAt: -1}
+	got := collectLines(t, func(v func(m LineMatch) error) error {
+		return q.RunLinesParallel(strings.NewReader(sb.String()), 4, v)
+	})
+	if len(got) != records {
+		t.Fatalf("%d records delivered, want %d", len(got), records)
+	}
+	for i := range got {
+		if !got[i].degraded {
+			t.Fatalf("record %d not marked degraded: %+v", i, got[i])
+		}
+		if got[i].line != want[i].line || got[i].offsets != want[i].offsets || got[i].errClass != want[i].errClass {
+			t.Fatalf("record %d = %+v, oracle %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunLinesParallelVisitErrorStopsCleanly: a visit error stops the scan,
+// is returned verbatim, and leaves no goroutine behind.
+func TestRunLinesParallelVisitErrorStopsCleanly(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, `{"a": %d}`+"\n", i)
+	}
+	before := runtime.NumGoroutine()
+	stop := errors.New("stop")
+	calls := 0
+	err := MustCompile("$.a").RunLinesParallel(strings.NewReader(sb.String()), 4, func(LineMatch) error {
+		calls++
+		return stop
+	})
+	if !errors.Is(err, stop) || calls != 1 {
+		t.Fatalf("calls=%d err=%v, want 1 call and the stop error", calls, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines %d after mid-stream stop, %d before", n, before)
+	}
+}
+
+// TestRunLinesParallelReadError: a failure of the stream itself (not of a
+// record) aborts the scan after the preceding records were delivered.
+func TestRunLinesParallelReadError(t *testing.T) {
+	boom := errors.New("stream torn")
+	r := struct{ io.Reader }{io.MultiReader(
+		strings.NewReader(`{"a": 1}`+"\n"+`{"a": 2}`+"\n"),
+		errReader{err: boom},
+	)}
+	var lines []int
+	err := MustCompile("$.a").RunLinesParallel(r, 3, func(m LineMatch) error {
+		lines = append(lines, m.Line)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v, want the stream error", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines %v, want both records before the tear", lines)
+	}
+}
+
+// TestQuerySetRunLinesParallelMatchesSequential mirrors the single-query
+// sweep for the shared-pass set scan.
+func TestQuerySetRunLinesParallelMatchesSequential(t *testing.T) {
+	ndjson := corpusNDJSON(t)
+	set := MustCompileSet([]string{"$..a", "$..b", "$.a"})
+	type setRecord struct {
+		line     int
+		offsets  string
+		errClass string
+		degraded bool
+	}
+	collect := func(run func(visit func(m SetLineMatch) error) error) []setRecord {
+		var out []setRecord
+		if err := run(func(m SetLineMatch) error {
+			out = append(out, setRecord{
+				line:     m.Line,
+				offsets:  fmt.Sprint(m.Offsets),
+				errClass: errClass(m.Err),
+				degraded: m.Outcome != nil && m.Outcome.Degraded(),
+			})
+			return nil
+		}); err != nil {
+			t.Fatalf("set lines run: %v", err)
+		}
+		return out
+	}
+	want := collect(func(v func(m SetLineMatch) error) error {
+		return set.RunLines(strings.NewReader(ndjson), v)
+	})
+	if len(want) == 0 {
+		t.Fatal("bad fixture: sequential set scan delivered nothing")
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got := collect(func(v func(m SetLineMatch) error) error {
+			return set.RunLinesParallel(strings.NewReader(ndjson), workers, v)
+		})
+		if len(got) != len(want) {
+			t.Fatalf("[workers=%d] %d records, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("[workers=%d] record %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// errReader fails every Read with its error.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }

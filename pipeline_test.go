@@ -116,19 +116,19 @@ func TestRunLines(t *testing.T) {
 
 func TestCountLines(t *testing.T) {
 	input := `{"a": 1}` + "\n" + `{"a": [1, 2]}` + "\n"
-	n, bad, err := MustCompile("$.a").CountLines(strings.NewReader(input))
+	n, failures, err := MustCompile("$.a").CountLines(strings.NewReader(input))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 || bad != 0 {
-		t.Fatalf("count %d, bad %d", n, bad)
+	if n != 2 || len(failures) != 0 {
+		t.Fatalf("count %d, failures %v", n, failures)
 	}
 }
 
 func TestRunLinesNoTrailingNewline(t *testing.T) {
-	n, bad, err := MustCompile("$.a").CountLines(strings.NewReader(`{"a": 9}`))
-	if err != nil || n != 1 || bad != 0 {
-		t.Fatalf("n=%d bad=%d err=%v", n, bad, err)
+	n, failures, err := MustCompile("$.a").CountLines(strings.NewReader(`{"a": 9}`))
+	if err != nil || n != 1 || len(failures) != 0 {
+		t.Fatalf("n=%d failures=%v err=%v", n, failures, err)
 	}
 }
 

@@ -1,13 +1,24 @@
 package rsonpath
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"rsonpath/internal/automaton"
+	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 	"rsonpath/internal/multiquery"
 )
+
+// setRunner is the execution surface QuerySet needs from the one-pass
+// driver; an interface so the fault-injection tests can interpose on it the
+// way they do on Query.run.
+type setRunner interface {
+	Run(data []byte, emit func(query, pos int)) error
+	RunInput(in input.Input, emit func(query, pos int)) error
+	Len() int
+}
 
 // errSetEngine rejects QuerySet on engines other than the default: the
 // one-pass driver is built on the accelerated engine's classification
@@ -25,9 +36,13 @@ var errSetEngine = errors.New("rsonpath: QuerySet requires EngineRsonpath")
 // A QuerySet is immutable and safe for concurrent use.
 type QuerySet struct {
 	sources []string
-	set     *multiquery.Set
-	window  int // RunReader window size; 0 = DefaultStreamWindow
-	limits  limits
+	// parsed keeps the member queries' ASTs for the supervisor's per-query
+	// DOM-oracle fallback (supervisor.go).
+	parsed []*jsonpath.Query
+	set    setRunner
+	window int // RunReader window size; 0 = DefaultStreamWindow
+	limits limits
+	sup    supervision
 }
 
 // CompileSet parses and compiles a set of JSONPath expressions for one-pass
@@ -47,11 +62,13 @@ func CompileSet(queries []string, opts ...Option) (*QuerySet, error) {
 	}
 	sources := append([]string(nil), queries...)
 	dfas := make([]*automaton.DFA, len(queries))
+	parsedAll := make([]*jsonpath.Query, len(queries))
 	for i, src := range queries {
 		parsed, err := jsonpath.Parse(src)
 		if err != nil {
 			return nil, fmt.Errorf("query %d (%s): %w", i, src, err)
 		}
+		parsedAll[i] = parsed
 		dfas[i], err = automaton.Compile(parsed, automaton.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("query %d (%s): %w", i, src, err)
@@ -60,7 +77,8 @@ func CompileSet(queries []string, opts ...Option) (*QuerySet, error) {
 	lim := c.resolveLimits()
 	set := multiquery.New(dfas)
 	set.Limits(lim.maxDepth, lim.maxDocBytes)
-	return &QuerySet{sources: sources, set: set, window: c.window, limits: lim}, nil
+	return &QuerySet{sources: sources, parsed: parsedAll, set: set, window: c.window,
+		limits: lim, sup: c.resolveSupervision()}, nil
 }
 
 // MustCompileSet is CompileSet that panics on error, for fixed query sets.
@@ -87,6 +105,11 @@ func (s *QuerySet) Source(i int) string { return s.sources[i] }
 // Malformed input surfaces as *MalformedError, a configured limit being hit
 // as *LimitError, and an internal fault as *InternalError (never a panic).
 func (s *QuerySet) Run(data []byte, emit func(query, pos int)) error {
+	if s.sup.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), s.sup.timeout)
+		defer cancel()
+		return s.runCtx(ctx, data, emit)
+	}
 	if err := s.limits.checkDocBytes(len(data)); err != nil {
 		return err
 	}

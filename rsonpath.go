@@ -1,9 +1,11 @@
 package rsonpath
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"rsonpath/internal/automaton"
 	"rsonpath/internal/dom"
@@ -91,6 +93,14 @@ type config struct {
 	maxDepth    int
 	maxMatches  int
 	maxDocBytes int
+
+	// Supervision (supervisor.go): watchdog deadline, degradation ladder,
+	// retry policy.
+	timeout      time.Duration
+	fallback     FallbackMode
+	retryMax     int
+	retryBackoff time.Duration
+	retryable    func(error) bool
 }
 
 // WithEngine selects the execution engine.
@@ -117,6 +127,10 @@ type Query struct {
 	run    runner
 	window int // RunReader window size; 0 = DefaultStreamWindow
 	limits limits
+	sup    supervision
+	// oracle is the DOM reference evaluator the supervisor degrades to on
+	// internal faults; nil when the query is already EngineDOM.
+	oracle *domRunner
 }
 
 // Compile parses and compiles a JSONPath expression.
@@ -133,7 +147,11 @@ func Compile(query string, opts ...Option) (*Query, error) {
 		return nil, errPathSemantics
 	}
 	lim := c.resolveLimits()
-	q := &Query{source: query, parsed: parsed, kind: c.kind, window: c.window, limits: lim}
+	q := &Query{source: query, parsed: parsed, kind: c.kind, window: c.window,
+		limits: lim, sup: c.resolveSupervision()}
+	if c.kind != EngineDOM {
+		q.oracle = &domRunner{query: parsed, semantics: dom.NodeSemantics, maxDepth: lim.maxDepth}
+	}
 	switch c.kind {
 	case EngineDOM:
 		sem := dom.NodeSemantics
@@ -209,6 +227,11 @@ func (q *Query) Engine() EngineKind { return q.kind }
 // as *LimitError, and an internal fault as *InternalError (never a panic);
 // see DESIGN.md §9 for the failure model.
 func (q *Query) Run(data []byte, emit func(pos int)) error {
+	if q.sup.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), q.sup.timeout)
+		defer cancel()
+		return q.runCtx(ctx, data, emit)
+	}
 	if err := q.limits.checkDocBytes(len(data)); err != nil {
 		return err
 	}

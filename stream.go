@@ -1,6 +1,7 @@
 package rsonpath
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -46,6 +47,10 @@ func (q *Query) RunReader(r io.Reader, emit func(pos int)) error {
 	sr, ok := q.run.(inputRunner)
 	if !ok {
 		return ErrStreamingUnsupported
+	}
+	if q.sup.timeout > 0 {
+		// The watchdog deadline needs the cancellation plumbing.
+		return q.RunReaderContext(context.Background(), r, emit)
 	}
 	in := input.NewBuffered(r, q.window)
 	if q.limits.maxDocBytes > 0 {
@@ -185,6 +190,9 @@ func valueBytesAt(in input.Input, pos int) ([]byte, error) {
 // offset of every matched value. Memory is bounded by the configured
 // stream window regardless of document size.
 func (s *QuerySet) RunReader(r io.Reader, emit func(query, pos int)) error {
+	if s.sup.timeout > 0 {
+		return s.RunReaderContext(context.Background(), r, emit)
+	}
 	in := input.NewBuffered(r, s.window)
 	if s.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(s.limits.maxDocBytes)
