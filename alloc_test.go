@@ -1,0 +1,68 @@
+package rsonpath
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The allocation ceilings below are regression guards for the scratch pools
+// (input.BufferedInput window buffers, the lines families' offset and match
+// buffers): measured steady-state counts padded ~50% for toolchain noise. A
+// failure here means a hot path regained a per-run or per-record allocation
+// the pools were added to remove — most likely a NewBuffered call site that
+// lost its Release, or a lines eval that stopped threading its scratch.
+
+func allocFixtures() (*Query, *QuerySet, []byte, []byte) {
+	q := MustCompile("$.a[*].b")
+	s := MustCompileSet([]string{"$.a[*].b", "$.x"})
+	doc := []byte(`{"a":[{"b":1},{"b":2},{"b":3}],"x":"` + strings.Repeat("y", 200) + `"}`)
+	var lines bytes.Buffer
+	for i := 0; i < 64; i++ {
+		lines.Write(doc)
+		lines.WriteByte('\n')
+	}
+	return q, s, doc, lines.Bytes()
+}
+
+func TestRunReaderAllocs(t *testing.T) {
+	q, _, doc, _ := allocFixtures()
+	got := testing.AllocsPerRun(50, func() {
+		if err := q.RunReader(bytes.NewReader(doc), func(int) {}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state measures 6; in particular the ~288 KiB window buffer must
+	// come from the pool, not a fresh make, on every run after the first.
+	if got > 12 {
+		t.Fatalf("RunReader: %.1f allocs/run, want <= 12", got)
+	}
+}
+
+func TestSetRunLinesAllocs(t *testing.T) {
+	_, s, _, lines := allocFixtures()
+	const records = 64
+	got := testing.AllocsPerRun(20, func() {
+		if err := s.RunLines(bytes.NewReader(lines), func(SetLineMatch) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per := got / records; per > 24 {
+		t.Fatalf("QuerySet.RunLines: %.2f allocs/record, want <= 24", per)
+	}
+}
+
+func TestRunLinesParallelAllocs(t *testing.T) {
+	q, _, _, lines := allocFixtures()
+	const records = 64
+	// One worker keeps the schedule deterministic; the pools are what is
+	// under test, not the pool of workers.
+	got := testing.AllocsPerRun(20, func() {
+		if err := q.RunLinesParallel(bytes.NewReader(lines), 1, func(LineMatch) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per := got / records; per > 20 {
+		t.Fatalf("Query.RunLinesParallel: %.2f allocs/record, want <= 20", per)
+	}
+}

@@ -268,6 +268,56 @@ func BenchmarkMultiQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexedRepeatQuery compares a cold Run per query against warm
+// RunIndexed passes over one prebuilt IndexedDocument at N = 1, 8 and 32
+// repeated queries, plus the one-off index build. The full-scale version is
+// `rsonbench -exp swar` (BENCH_swar.json).
+func BenchmarkIndexedRepeatQuery(b *testing.B) {
+	data, err := benchHarness.Dataset("crossref")
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*rsonpath.Query, len(bench.IndexedRepeatQueries))
+	for i, src := range bench.IndexedRepeatQueries {
+		queries[i] = rsonpath.MustCompile(src)
+	}
+	doc, err := rsonpath.Index(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("index-build", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := rsonpath.Index(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 8, 32} {
+		batch := queries[:n]
+		b.Run(fmt.Sprintf("N%d/cold-run", n), func(b *testing.B) {
+			b.SetBytes(int64(n * len(data)))
+			for i := 0; i < b.N; i++ {
+				for _, q := range batch {
+					if _, err := q.Count(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("N%d/warm-indexed", n), func(b *testing.B) {
+			b.SetBytes(int64(n * len(data)))
+			for i := 0; i < b.N; i++ {
+				for _, q := range batch {
+					if _, err := q.CountIndexed(doc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreaming measures what the buffered input costs relative to
 // the borrowed (in-memory) input on the same documents and queries: the
 // borrowed runs go through Count (zero-copy BytesInput), the buffered runs

@@ -342,6 +342,58 @@ func TestCLIRsonpathMultiQuery(t *testing.T) {
 	}
 }
 
+func TestCLIRsonpathIndexed(t *testing.T) {
+	bin := buildTool(t, "rsonpath")
+	doc := filepath.Join(t.TempDir(), "doc.json")
+	if err := os.WriteFile(doc, []byte(`{"a": 1, "b": {"a": 2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// -index output must match the QuerySet path, mode by mode, except that
+	// matches arrive grouped by query (one RunIndexed per query) rather than
+	// interleaved in document order.
+	out, err := exec.Command(bin, "-index", "-e", "$..a", "-e", "$.b", doc).Output()
+	if err != nil {
+		t.Fatalf("rsonpath -index: %v", err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:1\n0:2\n1:{\"a\": 2}" {
+		t.Fatalf("indexed values output %q", got)
+	}
+	out, err = exec.Command(bin, "-index", "-count", "-e", "$..a", "-e", "$.b", doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:2\n1:1" {
+		t.Fatalf("indexed count output %q", got)
+	}
+	out, err = exec.Command(bin, "-index", "-offsets", "-e", "$..a", "-e", "$.b", doc).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(out)); got != "0:6\n0:20\n1:14" {
+		t.Fatalf("indexed offsets output %q", got)
+	}
+
+	// Malformed input is rejected by the index screens with the malformed
+	// exit code.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"a": [1, 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ee *exec.ExitError
+	if err := exec.Command(bin, "-index", "-count", "-e", "$.a", bad).Run(); !errors.As(err, &ee) || ee.ExitCode() != 3 {
+		t.Fatalf("malformed doc under -index: err %v", err)
+	}
+
+	// -index requires the multi-query form and rejects -lines.
+	if err := exec.Command(bin, "-index", "$.a", doc).Run(); err == nil {
+		t.Fatal("-index without -e accepted")
+	}
+	if err := exec.Command(bin, "-index", "-lines", "-e", "$.a", doc).Run(); err == nil {
+		t.Fatal("-index with -lines accepted")
+	}
+}
+
 func TestCLIRsonbenchMultiQueryJSON(t *testing.T) {
 	bin := buildTool(t, "rsonbench")
 	dir := t.TempDir()

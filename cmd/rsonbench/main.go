@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, parallel_lines, table2, table3, semantics, ablation, stackless, or all")
+		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, parallel_lines, swar, table2, table3, semantics, ablation, stackless, or all")
 		scale   = flag.Float64("scale", 1.0, "dataset size factor relative to DESIGN.md defaults")
 		samples = flag.Int("samples", 5, "timed samples per measurement")
 		seed    = flag.Int64("seed", 42, "dataset generation seed")
@@ -63,7 +63,7 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 	w := os.Stdout
 	switch exp {
 	case "all":
-		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "multiquery", "parallel_lines", "grid"} {
+		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "multiquery", "parallel_lines", "swar", "grid"} {
 			if err := run(h, e, jsonDir); err != nil {
 				return err
 			}
@@ -171,6 +171,20 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 		}
 		bench.RenderParallelLines(w, results)
 		return writeJSON(jsonDir, "parallel_lines", results)
+
+	case "swar":
+		fmt.Fprintln(w, "== SWAR: batched vs per-block classification; indexed repeat queries ==")
+		kernels, err := h.RunSWARKernels([]string{"crossref", "ast"})
+		if err != nil {
+			return err
+		}
+		repeat, err := h.RunIndexedRepeat("crossref", []int{1, 8, 32})
+		if err != nil {
+			return err
+		}
+		rep := bench.SWARReport{Kernels: kernels, IndexedRepeat: repeat}
+		bench.RenderSWAR(w, rep)
+		return writeJSON(jsonDir, "swar", rep)
 
 	case "grid":
 		fmt.Fprintln(w, "== Appendix C: full result grid ==")

@@ -18,10 +18,15 @@
 //	rsonpath -max-matches 10 '$..id' huge.json   # stop after ten matches
 //	rsonpath -timeout 2s -count '$..id' huge.json    # watchdog deadline
 //	rsonpath -lines -parallel 4 '$.event' log.jsonl  # worker pool
+//	rsonpath -index -e '$..name' -e '$..id' products.json  # classify once, query many
 //
 // With -e or -queries the queries are compiled into a QuerySet and the
 // document is scanned once for all of them; every output line is prefixed
-// with the zero-based index of the query it belongs to ("2:...").
+// with the zero-based index of the query it belongs to ("2:..."). With
+// -index the document is instead buffered and classified once into a
+// reusable mask index (rsonpath.Index) and each query runs against the
+// index in turn — the right shape when queries arrive over time rather
+// than all at once.
 //
 // Runs over a named file (count and offsets modes) execute under the
 // execution supervisor: an internal fault in the chosen engine transparently
@@ -96,6 +101,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "watchdog deadline per run (per record with -lines; 0 = none)")
 		fallback = fs.String("fallback", "on", "degrade to the DOM oracle on internal faults: on or off")
 		parallel = fs.Int("parallel", 1, "with -lines: evaluate records with this many workers (0 = GOMAXPROCS)")
+		index    = fs.Bool("index", false, "with -e/-queries: buffer the document, classify it once into a reusable mask index, and evaluate each query against the index")
 	)
 	fs.Var(&exprs, "e", "query expression (repeatable; scans the document once for all queries)")
 	fs.Usage = func() {
@@ -160,6 +166,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rsonpath: -parallel requires -lines")
 		return exitUsage
 	}
+	if *index && (!multi || *lines) {
+		fmt.Fprintln(stderr, "rsonpath: -index requires -e/-queries and is incompatible with -lines")
+		return exitUsage
+	}
 
 	var in io.Reader = stdin
 	if file != "" && file != "-" {
@@ -178,6 +188,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *lines {
 			fmt.Fprintln(stderr, "rsonpath: multiple queries are not supported with -lines")
 			return exitUsage
+		}
+		if *index {
+			if err := runIndexed(queries, opts, in, out, *count, *offsets); err != nil {
+				if _, bad := err.(*badQueryError); bad {
+					fmt.Fprintln(stderr, "rsonpath:", err)
+					return exitUsage
+				}
+				return fail(stderr, err)
+			}
+			return exitOK
 		}
 		set, err := rsonpath.CompileSet(queries, opts...)
 		if err != nil {
@@ -374,6 +394,70 @@ func runSet(set *rsonpath.QuerySet, in io.Reader, out *bufio.Writer, count, offs
 		}
 		if runErr != nil {
 			return runErr
+		}
+	}
+	return nil
+}
+
+// badQueryError marks a compile failure in runIndexed so run can map it to
+// the usage exit code like the other compile paths.
+type badQueryError struct{ err error }
+
+func (e *badQueryError) Error() string { return e.err.Error() }
+func (e *badQueryError) Unwrap() error { return e.err }
+
+// runIndexed buffers the whole document, classifies it once into a reusable
+// mask index, and evaluates each query against the index in turn — the
+// repeated-query counterpart of runSet's one shared pass. Output lines carry
+// the query index prefix, like runSet.
+func runIndexed(queries []string, opts []rsonpath.Option, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	doc, err := rsonpath.Index(data)
+	if err != nil {
+		return err
+	}
+	for i, src := range queries {
+		q, err := rsonpath.Compile(src, opts...)
+		if err != nil {
+			return &badQueryError{fmt.Errorf("query %d (%s): %w", i, src, err)}
+		}
+		switch {
+		case count:
+			n, err := q.CountIndexed(doc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%d:%d\n", i, n)
+		case offsets:
+			if err := q.RunIndexed(doc, func(pos int) {
+				fmt.Fprintf(out, "%d:%d\n", i, pos)
+			}); err != nil {
+				return err
+			}
+		default:
+			var runErr error
+			err := q.RunIndexed(doc, func(pos int) {
+				if runErr != nil {
+					return
+				}
+				v, err := rsonpath.ValueAt(data, pos)
+				if err != nil {
+					runErr = err
+					return
+				}
+				fmt.Fprintf(out, "%d:", i)
+				out.Write(v)
+				out.WriteByte('\n')
+			})
+			if err != nil {
+				return err
+			}
+			if runErr != nil {
+				return runErr
+			}
 		}
 	}
 	return nil

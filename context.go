@@ -107,6 +107,7 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, emit func(pos
 	cr := newCtxReader(ctx, r)
 	defer cr.stop()
 	in := input.NewBuffered(cr, q.window)
+	defer in.Release()
 	if q.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(q.limits.maxDocBytes)
 	}
@@ -129,6 +130,7 @@ func (s *QuerySet) RunReaderContext(ctx context.Context, r io.Reader, emit func(
 	cr := newCtxReader(ctx, r)
 	defer cr.stop()
 	in := input.NewBuffered(cr, s.window)
+	defer in.Release()
 	if s.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(s.limits.maxDocBytes)
 	}

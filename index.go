@@ -1,0 +1,124 @@
+package rsonpath
+
+import (
+	"rsonpath/internal/classifier"
+	"rsonpath/internal/engine"
+	"rsonpath/internal/input"
+)
+
+// IndexedDocument is a document classified once and queried many times: the
+// whole-document mask planes (quote, in-string, structural, and bracket
+// masks, one 64-bit word per 64-byte block) built by one batched SWAR sweep,
+// plus the padded tail block. RunIndexed evaluations serve every per-block
+// mask from the index instead of re-running classification — the dominant
+// cost of a run — so the per-query cost drops to automaton simulation and
+// the few scalar verifications.
+//
+// An IndexedDocument is immutable and safe for concurrent use; any number of
+// RunIndexed calls may share it, from any number of goroutines. It aliases
+// the data slice it was built from: the caller must not mutate those bytes
+// while the index is in use (mutating them invalidates the index — the
+// planes would no longer describe the bytes, and runs over the stale index
+// return arbitrary offsets). There is no partial invalidation; to query
+// changed bytes, build a new index.
+//
+// The index costs 6 words per 64 input bytes (~9.4% of the document size).
+type IndexedDocument struct {
+	data   []byte
+	in     *input.BytesInput
+	planes *classifier.Planes
+}
+
+// Index classifies data once with the batched SWAR kernels and returns the
+// reusable mask index. Two whole-document screens run on the fresh planes
+// and reject input that cannot be well-formed JSON — a document ending
+// inside a string, or one whose brackets (outside strings) do not balance —
+// as *MalformedError before any query runs. The screens are necessary, not
+// sufficient: input that passes can still fail a later RunIndexed with the
+// engine's own malformed-input detection.
+//
+// The returned index aliases data; see IndexedDocument for the lifetime
+// contract.
+func Index(data []byte) (*IndexedDocument, error) {
+	planes := classifier.BuildPlanes(data)
+	if planes.EndInString {
+		return nil, &MalformedError{Offset: len(data), Kind: "unterminated string"}
+	}
+	if opens, closes := planes.BracketBalance(); opens != closes {
+		return nil, &MalformedError{Offset: len(data), Kind: "unbalanced brackets"}
+	}
+	return &IndexedDocument{data: data, in: input.NewBytes(data), planes: planes}, nil
+}
+
+// Bytes returns the document bytes the index was built from (aliased, not
+// copied).
+func (d *IndexedDocument) Bytes() []byte { return d.data }
+
+// Len returns the document length in bytes.
+func (d *IndexedDocument) Len() int { return len(d.data) }
+
+// RunIndexed is Run over a pre-indexed document: matches are identical to
+// Run(doc.Bytes(), emit) on well-formed input, but the classification work
+// is served from the index. The speedup accrues to EngineRsonpath (the
+// default); the baseline engines have no classification stream to feed, so
+// for them RunIndexed falls back to a plain Run over the document bytes.
+// A query compiled WithTimeout takes the same fallback — the watchdog's
+// cancellation points live on the streaming path, which cannot consume
+// planes.
+//
+// On malformed input that slipped past Index's screens the run's
+// best-effort error positions may differ from Run's; see DESIGN.md §11.
+func (q *Query) RunIndexed(doc *IndexedDocument, emit func(pos int)) error {
+	e, ok := q.run.(*engine.Engine)
+	if !ok || q.sup.timeout > 0 {
+		return q.Run(doc.data, emit)
+	}
+	if err := q.limits.checkDocBytes(len(doc.data)); err != nil {
+		return err
+	}
+	return guardRun(q.kind.String(), func() error {
+		return e.RunPlanes(doc.in, doc.planes, q.limits.limitEmit(emit))
+	})
+}
+
+// CountIndexed returns the number of matches in the indexed document.
+func (q *Query) CountIndexed(doc *IndexedDocument) (int, error) {
+	n := 0
+	err := q.RunIndexed(doc, func(int) { n++ })
+	return n, err
+}
+
+// MatchOffsetsIndexed returns the byte offsets of all matched values in the
+// indexed document.
+func (q *Query) MatchOffsetsIndexed(doc *IndexedDocument) ([]int, error) {
+	var out []int
+	err := q.RunIndexed(doc, func(pos int) { out = append(out, pos) })
+	return out, err
+}
+
+// RunIndexed is QuerySet.Run over a pre-indexed document: the set's one
+// shared classification pass is served from the index, with the same match
+// order and error contract as Run on well-formed input. A set compiled
+// WithTimeout falls back to a plain Run (see Query.RunIndexed).
+func (s *QuerySet) RunIndexed(doc *IndexedDocument, emit func(query, pos int)) error {
+	if s.sup.timeout > 0 {
+		return s.Run(doc.data, emit)
+	}
+	if err := s.limits.checkDocBytes(len(doc.data)); err != nil {
+		return err
+	}
+	return guardRun("queryset", func() error {
+		return s.set.RunPlanes(doc.in, doc.planes, s.limits.limitEmit2(emit))
+	})
+}
+
+// CountsIndexed returns the number of matches of each query in the indexed
+// document, indexed like the queries passed to CompileSet.
+func (s *QuerySet) CountsIndexed(doc *IndexedDocument) ([]int, error) {
+	counts := make([]int, s.set.Len())
+	err := s.RunIndexed(doc, func(q, _ int) { counts[q]++ })
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}

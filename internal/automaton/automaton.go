@@ -33,6 +33,10 @@ type StateID int
 type LabelTransition struct {
 	Label  []byte
 	Target StateID
+	// Pattern is the label in its quoted spelling ("label"), precomputed at
+	// compile time for the memmem-based label seekers: runs reuse it instead
+	// of rebuilding the search pattern per run or per record.
+	Pattern []byte
 }
 
 // IndexTransition is a transition taken on a range of array indices
@@ -486,6 +490,15 @@ func buildStates(r *rawDFA) *DFA {
 	fb := int(n.fallbackSymbol())
 	d := &DFA{Initial: r.initial, Trash: r.trash}
 	d.States = make([]State, len(r.trans))
+	// One quoted seek pattern per distinct label, shared by every transition
+	// that carries it.
+	patterns := make([][]byte, len(n.labels))
+	for a, label := range n.labels {
+		p := make([]byte, 0, len(label)+2)
+		p = append(p, '"')
+		p = append(p, label...)
+		patterns[a] = append(p, '"')
+	}
 	for s := range r.trans {
 		st := &d.States[s]
 		st.Accepting = r.accepting[s]
@@ -495,7 +508,8 @@ func buildStates(r *rawDFA) *DFA {
 				continue
 			}
 			if a < len(n.labels) {
-				st.Labels = append(st.Labels, LabelTransition{Label: n.labels[a], Target: r.trans[s][a]})
+				st.Labels = append(st.Labels, LabelTransition{
+					Label: n.labels[a], Pattern: patterns[a], Target: r.trans[s][a]})
 			} else {
 				iv := n.intervals[a-len(n.labels)]
 				st.Indexes = append(st.Indexes, IndexTransition{Lo: iv.lo, Hi: iv.hi, Target: r.trans[s][a]})

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rsonpath"
+	"rsonpath/internal/classifier"
+	"rsonpath/internal/simd"
+)
+
+// SWARKernelResult compares batched against per-block classification over
+// one dataset, at two levels: the raw-mask kernels alone (BatchRawMasks vs
+// a loop of the per-block kernels producing the same six masks) and the
+// full plane build (BuildPlanes vs a per-block Stream walk serving the same
+// information). Serialised into BENCH_swar.json.
+type SWARKernelResult struct {
+	Dataset string `json:"dataset"`
+	Bytes   int    `json:"bytes"`
+	// Raw-mask kernels: six masks per block, no quote carry.
+	BatchKernelGBps    float64 `json:"batch_kernel_gbps"`
+	PerBlockKernelGBps float64 `json:"per_block_kernel_gbps"`
+	KernelSpeedup      float64 `json:"kernel_speedup"`
+	// Full classification: quote carry and in-string masking included.
+	BuildPlanesGBps float64 `json:"build_planes_gbps"`
+	StreamWalkGBps  float64 `json:"stream_walk_gbps"`
+	PlanesSpeedup   float64 `json:"planes_speedup"`
+}
+
+// IndexedRepeatResult compares N cold Query.Run passes against N warm
+// RunIndexed passes over one prebuilt index, the IndexedDocument headline
+// number. Serialised into BENCH_swar.json.
+type IndexedRepeatResult struct {
+	Dataset string `json:"dataset"`
+	N       int    `json:"n"`
+	Bytes   int    `json:"bytes"`
+	Matches int    `json:"matches"`
+	// ColdSeconds is N Query.Run passes over the raw bytes.
+	ColdSeconds float64 `json:"cold_seconds"`
+	// WarmSeconds is N Query.RunIndexed passes over a prebuilt index.
+	WarmSeconds float64 `json:"warm_seconds"`
+	// IndexSeconds is one Index build (amortised over every later run).
+	IndexSeconds float64 `json:"index_seconds"`
+	// Speedup is ColdSeconds / WarmSeconds; SpeedupWithBuild charges the
+	// index build to the warm side.
+	Speedup          float64 `json:"speedup"`
+	SpeedupWithBuild float64 `json:"speedup_with_build"`
+}
+
+// SWARReport is the BENCH_swar.json payload.
+type SWARReport struct {
+	Kernels       []SWARKernelResult    `json:"kernels"`
+	IndexedRepeat []IndexedRepeatResult `json:"indexed_repeat"`
+}
+
+// IndexedRepeatQueries is the repeated-query workload over the Crossref
+// dataset: child-chain and index selectors whose runs are dominated by
+// classification and structural skipping, the costs an index amortises.
+// (A head-skip query like $..vitamins_tags spends its time in memmem, which
+// reads raw bytes either way — indexing cannot help it; see DESIGN.md §11.)
+// The N=1/8/32 workloads take prefixes.
+var IndexedRepeatQueries = []string{
+	"$.items.*.DOI",
+	"$.items.*.title",
+	"$.items.*.type",
+	"$.items.*.publisher",
+	"$.items.*.author.*.given",
+	"$.items.*.author.*.family",
+	"$.items.*.author.*.affiliation.*.name",
+	"$.items.*.reference.*.key",
+	"$.items.*.author.*.ORCID",
+	"$.items.*.author.*.sequence",
+	"$.items.*.reference.*.DOI",
+	"$.items.*.reference.*.unstructured",
+	"$.items.*.editor.*.name",
+	"$.items.*.editor.*.affiliation.*.name",
+	"$.items.*.issued.date-parts",
+	"$.items.*.title[0]",
+	"$.items[0].DOI",
+	"$.items[1].DOI",
+	"$.items[2].title",
+	"$.items[3].publisher",
+	"$.items[4].author.*.given",
+	"$.items[5].author.*.family",
+	"$.items[6].reference.*.key",
+	"$.items[7].type",
+	"$.items[8].DOI",
+	"$.items[9].title",
+	"$.items[10].author.*.affiliation.*.name",
+	"$.items[11].issued.date-parts",
+	"$.items[12].publisher",
+	"$.items[13].reference.*.DOI",
+	"$.items[14].author.*.ORCID",
+	"$.items[15].DOI",
+}
+
+// timeGBps measures f over best-of-passes wall time, the micro-benchmark
+// convention timeClassifier also follows: on a shared machine the minimum,
+// not the mean, estimates the undisturbed cost of a pure CPU kernel. One
+// extra untimed pass warms the caches.
+func timeGBps(bytes, passes int, f func()) float64 {
+	one := func() time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	f()
+	best := one()
+	for i := 1; i < passes; i++ {
+		if d := one(); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return float64(bytes) / best.Seconds() / 1e9
+}
+
+// RunSWARKernels measures batched vs per-block classification throughput
+// over the given datasets.
+func (h *Harness) RunSWARKernels(datasets []string) ([]SWARKernelResult, error) {
+	passes := h.Samples
+	if passes < 3 {
+		passes = 3
+	}
+	var out []SWARKernelResult
+	for _, name := range datasets {
+		data, err := h.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		n := len(data) / simd.BlockSize
+		planes := make([][]uint64, 6)
+		for i := range planes {
+			planes[i] = make([]uint64, n)
+		}
+
+		r := SWARKernelResult{Dataset: name, Bytes: len(data)}
+		r.BatchKernelGBps = timeGBps(len(data), passes, func() {
+			blocks := simd.BatchRawMasks(data, planes[0], planes[1], planes[2], planes[3], planes[4], planes[5])
+			if blocks > 0 {
+				Sink ^= planes[1][blocks/2]
+			}
+		})
+		r.PerBlockKernelGBps = timeGBps(len(data), passes, func() {
+			var b simd.Block
+			for i := 0; i < n; i++ {
+				simd.LoadBlock(&b, data[i*simd.BlockSize:(i+1)*simd.BlockSize], ' ')
+				backslash, quote := simd.CmpEq8Pair(&b, '\\', '"')
+				opens, closes := simd.BracketMasks(&b)
+				commas := simd.CmpEq8(&b, ',')
+				colons := simd.CmpEq8(&b, ':')
+				planes[0][i], planes[1][i] = backslash, quote
+				planes[2][i], planes[3][i] = opens, closes
+				planes[4][i], planes[5][i] = commas, colons
+			}
+			Sink ^= planes[1][n/2]
+		})
+		r.BuildPlanesGBps = timeGBps(len(data), passes, func() {
+			p := classifier.BuildPlanes(data)
+			if p.Blocks() > 0 {
+				Sink ^= p.Quote[p.Blocks()/2]
+			}
+		})
+		r.StreamWalkGBps = timeGBps(len(data), passes, func() {
+			s := classifier.NewStream(data)
+			for !s.Exhausted() {
+				opens, closes := simd.BracketMasks(s.Block())
+				commas := simd.CmpEq8(s.Block(), ',')
+				colons := simd.CmpEq8(s.Block(), ':')
+				notStr := ^s.InString()
+				Sink ^= s.QuoteMask() ^ (opens&notStr | closes&notStr) ^ commas&notStr ^ colons&notStr
+				if !s.Advance() {
+					break
+				}
+			}
+		})
+
+		if r.PerBlockKernelGBps > 0 {
+			r.KernelSpeedup = r.BatchKernelGBps / r.PerBlockKernelGBps
+		}
+		if r.StreamWalkGBps > 0 {
+			r.PlanesSpeedup = r.BuildPlanesGBps / r.StreamWalkGBps
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunIndexedRepeat measures the repeated-query workload at each N: the cold
+// side runs each query with Query.Run over the raw bytes, the warm side
+// with Query.RunIndexed over one prebuilt IndexedDocument. Both sides must
+// agree on the total match count.
+func (h *Harness) RunIndexedRepeat(dataset string, ns []int) ([]IndexedRepeatResult, error) {
+	data, err := h.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]*rsonpath.Query, len(IndexedRepeatQueries))
+	for i, src := range IndexedRepeatQueries {
+		if queries[i], err = rsonpath.Compile(src); err != nil {
+			return nil, fmt.Errorf("swar: %s: %w", src, err)
+		}
+	}
+
+	var out []IndexedRepeatResult
+	for _, n := range ns {
+		if n > len(queries) {
+			return nil, fmt.Errorf("swar: N=%d exceeds the %d-query workload", n, len(queries))
+		}
+		batch := queries[:n]
+
+		indexRes, err := h.MeasureFunc(len(data), func() (int, error) {
+			doc, err := rsonpath.Index(data)
+			if err != nil {
+				return 0, err
+			}
+			Sink ^= uint64(doc.Len())
+			return 0, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		doc, err := rsonpath.Index(data)
+		if err != nil {
+			return nil, err
+		}
+
+		cold, err := h.MeasureFunc(n*len(data), func() (int, error) {
+			total := 0
+			for _, q := range batch {
+				c, err := q.Count(data)
+				if err != nil {
+					return 0, err
+				}
+				total += c
+			}
+			return total, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		warm, err := h.MeasureFunc(n*len(data), func() (int, error) {
+			total := 0
+			for _, q := range batch {
+				c, err := q.CountIndexed(doc)
+				if err != nil {
+					return 0, err
+				}
+				total += c
+			}
+			return total, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cold.Matches != warm.Matches {
+			return nil, fmt.Errorf("swar N=%d: cold found %d matches, warm %d",
+				n, cold.Matches, warm.Matches)
+		}
+
+		r := IndexedRepeatResult{
+			Dataset:      dataset,
+			N:            n,
+			Bytes:        len(data),
+			Matches:      cold.Matches,
+			ColdSeconds:  cold.Mean.Seconds(),
+			WarmSeconds:  warm.Mean.Seconds(),
+			IndexSeconds: indexRes.Mean.Seconds(),
+		}
+		if r.WarmSeconds > 0 {
+			r.Speedup = r.ColdSeconds / r.WarmSeconds
+		}
+		if amortised := r.WarmSeconds + r.IndexSeconds; amortised > 0 {
+			r.SpeedupWithBuild = r.ColdSeconds / amortised
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderSWAR prints the report as aligned text tables.
+func RenderSWAR(w io.Writer, rep SWARReport) {
+	fmt.Fprintf(w, "%-10s %10s | %12s %12s %8s | %12s %12s %8s\n",
+		"dataset", "MiB", "batch GB/s", "blk GB/s", "speedup", "planes GB/s", "walk GB/s", "speedup")
+	for _, r := range rep.Kernels {
+		fmt.Fprintf(w, "%-10s %10.1f | %12.2f %12.2f %7.2fx | %12.2f %12.2f %7.2fx\n",
+			r.Dataset, float64(r.Bytes)/(1<<20),
+			r.BatchKernelGBps, r.PerBlockKernelGBps, r.KernelSpeedup,
+			r.BuildPlanesGBps, r.StreamWalkGBps, r.PlanesSpeedup)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %4s %9s | %10s %10s %10s | %8s %8s\n",
+		"dataset", "N", "matches", "cold s", "warm s", "index s", "speedup", "w/build")
+	for _, r := range rep.IndexedRepeat {
+		fmt.Fprintf(w, "%-10s %4d %9d | %10.4f %10.4f %10.4f | %7.2fx %7.2fx\n",
+			r.Dataset, r.N, r.Matches,
+			r.ColdSeconds, r.WarmSeconds, r.IndexSeconds,
+			r.Speedup, r.SpeedupWithBuild)
+	}
+}

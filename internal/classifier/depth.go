@@ -19,6 +19,9 @@ import "rsonpath/internal/simd"
 // position; the caller resumes structural classification with
 // Structural.Reset.
 func SkipToClose(s *Stream, from int, open byte) (closePos int, ok bool) {
+	if s.planes != nil {
+		return skipToClosePlanes(s, from)
+	}
 	cl := matchingClose(open)
 	depth := 1
 	first := true
@@ -66,6 +69,57 @@ func SkipToClose(s *Stream, from int, open byte) (closePos int, ok bool) {
 			return 0, false
 		}
 	}
+}
+
+// skipToClosePlanes is SkipToClose over a plane-backed stream. The relative
+// depth is tracked on the precomputed bracket planes — both bracket kinds at
+// once, which reaches the same closer on well-formed input since subtrees of
+// either kind nest properly (on input that interleaves mismatched brackets
+// the landing point may differ from the single-kind scan, within the
+// engine's best-effort malformed-input contract, DESIGN.md §9). Skipped
+// blocks are never loaded at all: the scan walks the planes and only the
+// landing block is materialized, via the O(1) plane-backed JumpTo.
+func skipToClosePlanes(s *Stream, from int) (int, bool) {
+	p := s.planes
+	idx := s.blockStart / simd.BlockSize
+	// from may lie in the block after the current one when the caller's
+	// iterator peeked ahead (see SkipToClose); never look before it.
+	if fi := from / simd.BlockSize; fi > idx {
+		idx = fi
+	}
+	depth := 1
+	first := true
+	for ; idx < len(p.Opens); idx++ {
+		om, cm := p.Opens[idx], p.Closes[idx]
+		if first {
+			if rel := from - idx*simd.BlockSize; rel > 0 {
+				low := simd.BitsBelow(rel)
+				om &^= low
+				cm &^= low
+			}
+			first = false
+		}
+		if simd.Popcount(cm) < depth {
+			depth += simd.Popcount(om) - simd.Popcount(cm)
+			continue
+		}
+		accounted := uint64(0)
+		for cm != 0 {
+			bit := simd.TrailingZeros(cm)
+			below := simd.BitsBelow(bit)
+			depth += simd.Popcount(om & below &^ accounted)
+			accounted = below | 1<<uint(bit)
+			depth--
+			if depth == 0 {
+				pos := idx*simd.BlockSize + bit
+				s.JumpTo(pos)
+				return pos, true
+			}
+			cm = simd.ClearLowest(cm)
+		}
+		depth += simd.Popcount(om &^ accounted)
+	}
+	return 0, false
 }
 
 // ScanToClose is a standalone form of SkipToClose for engines that keep a

@@ -1,0 +1,100 @@
+package classifier
+
+import (
+	"rsonpath/internal/input"
+	"rsonpath/internal/simd"
+)
+
+// Planes is a whole-document mask index: one 64-bit word per 64-byte block
+// and per classifier output, built in a single batched sweep over the bytes
+// (BuildPlanes) and then reusable by any number of runs. It is the
+// precomputed form of everything a Stream derives block by block — the
+// quote classifier's masks plus the structural classifier's per-symbol
+// masks — so a plane-backed Stream serves classification by lookup instead
+// of recomputation.
+//
+// Bit i of word j covers byte j*64+i, exactly like the live masks. The
+// symbol planes (Opens, Closes, Commas, Colons) already have in-string
+// positions masked out; the structural classifier's always-on brace mask is
+// Opens|Closes, and the bracket planes double as the depth classifier's
+// inputs.
+//
+// A Planes is immutable after BuildPlanes and safe for concurrent use.
+type Planes struct {
+	Quote    []uint64 // unescaped double quotes
+	InString []uint64 // inside a string (incl. opening, excl. closing quote)
+	Opens    []uint64 // '{' and '[' outside strings
+	Closes   []uint64 // '}' and ']' outside strings
+	Commas   []uint64 // ',' outside strings
+	Colons   []uint64 // ':' outside strings
+
+	// Len is the document length in bytes.
+	Len int
+	// EndInString records whether the quote parity is still open at the end
+	// of input — the document ends in the middle of a string.
+	EndInString bool
+	// EndEscaped records whether the document ends on an unfinished escape
+	// (an odd backslash run against the end of input).
+	EndEscaped bool
+}
+
+// Blocks returns the number of mask words per plane.
+func (p *Planes) Blocks() int { return len(p.Quote) }
+
+// BuildPlanes classifies data once with the batched kernels and returns the
+// mask planes. The sweep is two passes over cache-resident state: the fused
+// raw sweep (simd.BatchRawMasks) touches the document bytes exactly once,
+// and a sequential carry pass — quote parity and escapes cannot be
+// parallelized across blocks — then resolves the escape-dependent masks in
+// place, a handful of word operations per block.
+func BuildPlanes(data []byte) *Planes {
+	n := (len(data) + simd.BlockSize - 1) / simd.BlockSize
+	backing := make([]uint64, 6*n)
+	p := &Planes{
+		Quote:    backing[0*n : 1*n : 1*n],
+		InString: backing[1*n : 2*n : 2*n],
+		Opens:    backing[2*n : 3*n : 3*n],
+		Closes:   backing[3*n : 4*n : 4*n],
+		Commas:   backing[4*n : 5*n : 5*n],
+		Colons:   backing[5*n : 6*n : 6*n],
+		Len:      len(data),
+	}
+	if n == 0 {
+		return p
+	}
+	// Raw sweep. The two escape-dependent planes temporarily hold their raw
+	// precursors — backslashes in InString, raw quotes in Quote — which the
+	// carry pass below consumes and overwrites in place.
+	full := simd.BatchRawMasks(data, p.InString, p.Quote, p.Opens, p.Closes, p.Commas, p.Colons)
+	if full < n {
+		var tail simd.Block
+		simd.LoadBlock(&tail, data[full*simd.BlockSize:], input.Pad)
+		p.InString[full], p.Quote[full], p.Opens[full], p.Closes[full],
+			p.Commas[full], p.Colons[full] = simd.RawMasks(&tail)
+	}
+	var qs quoteState
+	for i := 0; i < n; i++ {
+		quotes, inString := qs.classifyMasks(p.InString[i], p.Quote[i])
+		p.Quote[i] = quotes
+		p.InString[i] = inString
+		notStr := ^inString
+		p.Opens[i] &= notStr
+		p.Closes[i] &= notStr
+		p.Commas[i] &= notStr
+		p.Colons[i] &= notStr
+	}
+	p.EndInString = qs.prevInString != 0
+	p.EndEscaped = qs.prevEscaped != 0
+	return p
+}
+
+// BracketBalance returns the total number of opening and closing brackets
+// (both kinds, outside strings) in the document — the cheap whole-document
+// screen Index uses to reject unbalanced input before any run.
+func (p *Planes) BracketBalance() (opens, closes int) {
+	for i := range p.Opens {
+		opens += simd.Popcount(p.Opens[i])
+		closes += simd.Popcount(p.Closes[i])
+	}
+	return opens, closes
+}

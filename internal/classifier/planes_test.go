@@ -1,0 +1,111 @@
+package classifier
+
+import (
+	"testing"
+
+	"rsonpath/internal/input"
+	"rsonpath/internal/simd"
+)
+
+// checkPlanesEquivalence asserts that BuildPlanes produces, for every block
+// of data, exactly the masks a per-block Stream classifies on the fly — the
+// batched sweep and the incremental pipeline must be bit-identical whatever
+// the bytes, or an IndexedDocument run could diverge from a plain run. The
+// stream side runs over in, which presents the same bytes (possibly through
+// a buffered window, exercising refill boundaries).
+func checkPlanesEquivalence(t *testing.T, data []byte, in input.Input, label string) {
+	t.Helper()
+	p := BuildPlanes(data)
+	if want := (len(data) + simd.BlockSize - 1) / simd.BlockSize; p.Blocks() != want {
+		t.Fatalf("%s: %d plane blocks, want %d", label, p.Blocks(), want)
+	}
+	s := NewStreamInput(in)
+	idx := 0
+	for !s.Exhausted() {
+		if idx >= p.Blocks() {
+			t.Fatalf("%s: stream visited block %d past the planes' %d", label, idx, p.Blocks())
+		}
+		if s.quoteMask != p.Quote[idx] || s.inString != p.InString[idx] {
+			t.Fatalf("%s block %d: stream quote=%#x inString=%#x, planes quote=%#x inString=%#x",
+				label, idx, s.quoteMask, s.inString, p.Quote[idx], p.InString[idx])
+		}
+		opens, closes := simd.BracketMasks(s.block)
+		commas := simd.CmpEq8(s.block, ',')
+		colons := simd.CmpEq8(s.block, ':')
+		notStr := ^s.inString
+		if p.Opens[idx] != opens&notStr || p.Closes[idx] != closes&notStr ||
+			p.Commas[idx] != commas&notStr || p.Colons[idx] != colons&notStr {
+			t.Fatalf("%s block %d: symbol planes diverge from per-block masks", label, idx)
+		}
+		idx++
+		if !s.Advance() {
+			break
+		}
+	}
+	if idx != p.Blocks() {
+		t.Fatalf("%s: stream visited %d blocks, planes hold %d", label, idx, p.Blocks())
+	}
+	if want := s.postQuotes.prevInString != 0; p.EndInString != want && len(data) > 0 {
+		t.Fatalf("%s: EndInString=%v, stream carry says %v", label, p.EndInString, want)
+	}
+	if want := s.postQuotes.prevEscaped != 0; p.EndEscaped != want && len(data) > 0 {
+		t.Fatalf("%s: EndEscaped=%v, stream carry says %v", label, p.EndEscaped, want)
+	}
+}
+
+func planesCorpus() [][]byte {
+	docs := [][]byte{
+		nil,
+		[]byte(`{}`),
+		[]byte(`{"a": [1, 2, {"b": "x,y:z"}], "c": null}`),
+		[]byte(`{"esc\\": "\"quoted\""}`),
+		[]byte(`"unterminated`),
+		[]byte(`{"open": [1, 2`),
+		[]byte("\\\\\\\\\\\\"),
+		[]byte(`{"` + string(make([]byte, 200)) + `": 1}`),
+	}
+	// A backslash run straddling the 64-byte block boundary — the carried
+	// escape parity is the hardest state to batch.
+	b := make([]byte, 130)
+	for i := range b {
+		b[i] = ' '
+	}
+	for i := 60; i < 70; i++ {
+		b[i] = '\\'
+	}
+	b[70], b[75] = '"', '"'
+	docs = append(docs, b)
+	// A string spanning several blocks, with quotes exactly on boundaries.
+	long := []byte(`{"k": "`)
+	for len(long) < 63 {
+		long = append(long, 'x')
+	}
+	long = append(long, '"', ':', '[', ']', '}')
+	docs = append(docs, long)
+	return docs
+}
+
+func TestPlanesEquivalence(t *testing.T) {
+	for i, data := range planesCorpus() {
+		checkPlanesEquivalence(t, data, input.NewBytes(data), "bytes")
+		for _, window := range []int{64, 128, 256} {
+			checkPlanesEquivalence(t, data,
+				input.NewBuffered(&chunkReader{data: data, n: 7}, window), "buffered")
+		}
+		_ = i
+	}
+}
+
+// FuzzPlanesEquivalence asserts the batched sweep is bit-identical to the
+// per-block pipeline for arbitrary bytes — not just valid JSON: the planes
+// feed the same classifiers, so they must agree even on garbage.
+func FuzzPlanesEquivalence(f *testing.F) {
+	for _, data := range planesCorpus() {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkPlanesEquivalence(t, data, input.NewBytes(data), "bytes")
+		checkPlanesEquivalence(t, data,
+			input.NewBuffered(&chunkReader{data: data, n: 7}, 64), "buffered")
+	})
+}

@@ -35,6 +35,13 @@ type Stream struct {
 	block      *simd.Block // the current padded block (owned by the input)
 	exhausted  bool
 
+	// planes, when non-nil, puts the stream in plane-backed mode: per-block
+	// quote masks are served from the precomputed index instead of being
+	// classified on the fly, JumpTo needs no quote-state reconstruction, and
+	// the structural and depth classifiers read their masks from the planes
+	// too. The quoteState fields below are unused in this mode.
+	planes *Planes
+
 	quotes     quoteState // state at the start of the current block
 	postQuotes quoteState // state at the end of the current block
 
@@ -63,6 +70,18 @@ func NewStreamInput(in input.Input) *Stream {
 	return s
 }
 
+// NewStreamPlanes creates a plane-backed stream over in: per-block masks
+// come from p (built by BuildPlanes over the same bytes in presents) and no
+// SWAR classification runs during the stream's lifetime. A plane-backed
+// stream still counts as a classification pass for Passes(): it replays the
+// one pass BuildPlanes performed.
+func NewStreamPlanes(in input.Input, p *Planes) *Stream {
+	passes.Add(1)
+	s := &Stream{in: in, planes: p}
+	s.loadBlock()
+	return s
+}
+
 // NewStreamAt creates a stream positioned on the block containing pos, with
 // the quote state reconstructed from pos as an anchor. pos must lie outside
 // any string and not be escaped (true for every value boundary), and the
@@ -86,11 +105,26 @@ func (s *Stream) Input() input.Input { return s.in }
 
 // loadBlock fetches and classifies the block at blockStart.
 func (s *Stream) loadBlock() {
-	s.block, s.blockLen = s.in.Block(s.blockStart / simd.BlockSize)
+	idx := s.blockStart / simd.BlockSize
+	s.block, s.blockLen = s.in.Block(idx)
+	if s.planes != nil {
+		s.loadPlaneMasks(idx)
+		return
+	}
 	qs := s.quotes
 	backslash, rawQuotes := simd.CmpEq8Pair(s.block, '\\', '"')
 	s.quoteMask, s.inString = qs.classifyMasks(backslash, rawQuotes)
 	s.postQuotes = qs
+}
+
+// loadPlaneMasks serves the current block's quote masks from the planes.
+func (s *Stream) loadPlaneMasks(idx int) {
+	if p := s.planes; idx < len(p.Quote) {
+		s.quoteMask = p.Quote[idx]
+		s.inString = p.InString[idx]
+		return
+	}
+	s.quoteMask, s.inString = 0, 0
 }
 
 // markExhausted records the end of input. The document length is always
@@ -121,6 +155,10 @@ func (s *Stream) Advance() bool {
 	s.blockStart += simd.BlockSize
 	s.blockLen = n
 	s.block = b
+	if s.planes != nil {
+		s.loadPlaneMasks(idx)
+		return true
+	}
 	s.quotes = s.postQuotes
 	qs := s.quotes
 	backslash, rawQuotes := simd.CmpEq8Pair(b, '\\', '"')

@@ -79,8 +79,21 @@ func NewStructural(s *Stream, from int) *Structural {
 	return c
 }
 
-// onBlock recomputes the per-block masks after the stream advanced.
+// onBlock recomputes the per-block masks after the stream advanced. On a
+// plane-backed stream every mask is a lookup (the planes are pre-masked by
+// the in-string positions), so the lazy comma/colon computation is moot.
 func (c *Structural) onBlock() {
+	if p := c.s.planes; p != nil {
+		if idx := c.s.blockStart / simd.BlockSize; idx < len(p.Opens) {
+			c.bracesM = p.Opens[idx] | p.Closes[idx]
+			c.commaM = p.Commas[idx]
+			c.colonM = p.Colons[idx]
+		} else {
+			c.bracesM, c.commaM, c.colonM = 0, 0, 0
+		}
+		c.commaOK, c.colonOK = true, true
+		return
+	}
 	c.bracesM = simd.ClassifyBytes(c.s.Block(), &bracesTable) &^ c.s.InString()
 	c.commaOK, c.colonOK = false, false
 }

@@ -90,10 +90,10 @@ func New(dfa *automaton.DFA, opts Options) *Engine {
 	e.tailSkip = opts.EnableTailSkip && !e.needsIndex
 	init := &dfa.States[dfa.Initial]
 	if init.Waiting && !opts.DisableHeadSkip {
+		// The quoted seek pattern is built once at automaton compile time
+		// and shared by every engine over the same DFA.
 		e.headLabel = init.Labels[0].Label
-		e.headPattern = append(e.headPattern, '"')
-		e.headPattern = append(e.headPattern, e.headLabel...)
-		e.headPattern = append(e.headPattern, '"')
+		e.headPattern = init.Labels[0].Pattern
 	}
 	return e
 }
@@ -139,6 +139,21 @@ func (e *Engine) Run(data []byte, emit func(pos int)) error {
 // engine's memory stays bounded by the window; a document feature larger
 // than the window (a key, a whitespace run) surfaces as *input.Error.
 func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
+	return e.runInput(in, nil, emit)
+}
+
+// RunPlanes is RunInput over a document whose mask planes were precomputed
+// with classifier.BuildPlanes: the engine layer above the classifier
+// boundary is unchanged, but every block's quote and structural masks become
+// plane lookups instead of SWAR passes, stream repositioning needs no
+// quote-state reconstruction, and depth skips walk the bracket planes
+// without touching the document bytes. in must present exactly the bytes
+// the planes were built from.
+func (e *Engine) RunPlanes(in input.Input, planes *classifier.Planes, emit func(pos int)) error {
+	return e.runInput(in, planes, emit)
+}
+
+func (e *Engine) runInput(in input.Input, planes *classifier.Planes, emit func(pos int)) error {
 	return input.Guard(func() error {
 		if max := e.opts.MaxDocBytes; max > 0 {
 			if n := in.Len(); n >= 0 && n > max {
@@ -146,11 +161,15 @@ func (e *Engine) RunInput(in input.Input, emit func(pos int)) error {
 			}
 		}
 		r := &run{
-			e:      e,
-			dfa:    e.dfa,
-			in:     in,
-			stream: classifier.NewStreamInput(in),
-			emit:   emit,
+			e:    e,
+			dfa:  e.dfa,
+			in:   in,
+			emit: emit,
+		}
+		if planes != nil {
+			r.stream = classifier.NewStreamPlanes(in, planes)
+		} else {
+			r.stream = classifier.NewStreamInput(in)
 		}
 		r.iter = classifier.NewStructural(r.stream, 0)
 		return r.document()

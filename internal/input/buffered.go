@@ -2,6 +2,7 @@ package input
 
 import (
 	"io"
+	"sync"
 
 	"rsonpath/internal/errs"
 	"rsonpath/internal/simd"
@@ -55,11 +56,39 @@ func NewBuffered(r io.Reader, window int) *BufferedInput {
 	}
 	return &BufferedInput{
 		r:      r,
-		buf:    make([]byte, 0, window+behind),
+		buf:    getBuf(window + behind),
 		length: -1,
 		window: window,
 		behind: behind,
 	}
+}
+
+// bufPool recycles window buffers across BufferedInput lifetimes: a service
+// evaluating many streams (the lines family, repeated RunReader calls) would
+// otherwise allocate a fresh multi-hundred-KiB buffer per record. Entries
+// are reused only at the exact requested capacity — a larger pooled buffer
+// would silently loosen the window-violation contract, a smaller one
+// tighten it.
+var bufPool sync.Pool
+
+func getBuf(capacity int) []byte {
+	if v, _ := bufPool.Get().(*[]byte); v != nil && cap(*v) == capacity {
+		return (*v)[:0]
+	}
+	return make([]byte, 0, capacity)
+}
+
+// Release returns the input's window buffer to the package pool for reuse
+// by a future BufferedInput of the same geometry. The input must not be
+// used afterwards. Calling Release is optional — an unreleased buffer is
+// simply garbage collected — and at most once.
+func (in *BufferedInput) Release() {
+	if cap(in.buf) == 0 {
+		return
+	}
+	b := in.buf[:0]
+	in.buf = nil
+	bufPool.Put(&b)
 }
 
 // Block returns block idx, copied into one of two alternating scratch

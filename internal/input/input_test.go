@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"runtime/debug"
 	"testing"
 )
 
@@ -172,5 +173,67 @@ func TestCursor(t *testing.T) {
 		if b, ok := c.ByteAt(405); !ok || b != doc[405] {
 			t.Fatal("ByteAt after Slice wrong")
 		}
+	}
+}
+
+// TestBufferedRelease proves the window-buffer pool round-trip: a released
+// buffer is handed back, with the same backing array, to the next
+// BufferedInput of the same geometry — and never to one of a different
+// geometry, where reuse would silently change the window-violation contract.
+func TestBufferedRelease(t *testing.T) {
+	if raceEnabled {
+		// The race detector's sync.Pool instrumentation drops a random
+		// fraction of Puts, so backing-array identity cannot be asserted.
+		t.Skip("pool identity is not deterministic under -race")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1)) // a GC would drain the pool
+
+	doc := mkDoc(4 * BlockSize)
+	in := NewBuffered(bytes.NewReader(doc), BlockSize)
+	if _, ok := in.ByteAt(0); !ok {
+		t.Fatal("ByteAt(0) failed")
+	}
+	arr := &in.buf[:1][0]
+	geom := cap(in.buf)
+	in.Release()
+	if in.buf != nil {
+		t.Fatal("Release left the buffer attached")
+	}
+	in.Release() // double release must be a no-op, not a double Put
+
+	// Different geometry: must NOT reuse the pooled buffer.
+	other := NewBuffered(bytes.NewReader(doc), 4*BlockSize)
+	if cap(other.buf) == geom {
+		t.Fatalf("geometry mismatch: cap=%d", cap(other.buf))
+	}
+	if _, ok := other.ByteAt(0); !ok {
+		t.Fatal("ByteAt(0) failed")
+	}
+	if &other.buf[:1][0] == arr {
+		t.Fatal("pooled buffer reused at a different geometry")
+	}
+
+	// Same geometry: the pooled buffer should come back. The pool entry may
+	// have been consumed by the different-geometry probe above (Get-and-
+	// discard), so re-seed it.
+	seed := NewBuffered(bytes.NewReader(doc), BlockSize)
+	seedArr := func() *byte {
+		if _, ok := seed.ByteAt(0); !ok {
+			t.Fatal("ByteAt(0) failed")
+		}
+		return &seed.buf[:1][0]
+	}()
+	seed.Release()
+	reused := NewBuffered(bytes.NewReader(doc), BlockSize)
+	if _, ok := reused.ByteAt(0); !ok {
+		t.Fatal("ByteAt(0) failed")
+	}
+	if &reused.buf[:1][0] != seedArr {
+		t.Fatal("same-geometry BufferedInput did not reuse the released buffer")
+	}
+	// The recycled window must behave like a fresh one.
+	got := reused.Bytes(0, 4*BlockSize)
+	if !bytes.Equal(got, doc[:len(got)]) {
+		t.Fatalf("recycled buffer served wrong bytes: %q", got[:8])
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package input
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package input
+
+// raceEnabled reports whether the race detector is compiled in; tests that
+// assert sync.Pool identity skip under it (the detector drops random Puts).
+const raceEnabled = true

@@ -85,10 +85,19 @@ func (s *Set) Run(data []byte, emit func(query, pos int)) error {
 // shared pass's memory stays bounded by the window; a document feature
 // larger than the window surfaces as *input.Error.
 func (s *Set) RunInput(in input.Input, emit func(query, pos int)) error {
-	return input.Guard(func() error { return s.runInput(in, emit) })
+	return input.Guard(func() error { return s.runInput(in, nil, emit) })
 }
 
-func (s *Set) runInput(in input.Input, emit func(query, pos int)) error {
+// RunPlanes is RunInput over a document whose mask planes were precomputed
+// with classifier.BuildPlanes: the one shared classification pass the set
+// already amortizes over its members becomes a set of plane lookups, so
+// repeated evaluations over the same document re-derive nothing. in must
+// present exactly the bytes the planes were built from.
+func (s *Set) RunPlanes(in input.Input, planes *classifier.Planes, emit func(query, pos int)) error {
+	return input.Guard(func() error { return s.runInput(in, planes, emit) })
+}
+
+func (s *Set) runInput(in input.Input, planes *classifier.Planes, emit func(query, pos int)) error {
 	if len(s.dfas) == 0 {
 		return nil
 	}
@@ -133,7 +142,11 @@ func (s *Set) runInput(in input.Input, emit func(query, pos int)) error {
 			emit(i, rootPos)
 		}
 	}
-	r.stream = classifier.NewStreamInput(in)
+	if planes != nil {
+		r.stream = classifier.NewStreamPlanes(in, planes)
+	} else {
+		r.stream = classifier.NewStreamInput(in)
+	}
 	r.iter = classifier.NewStructural(r.stream, rootPos+1)
 	return r.scan(rootPos, c)
 }

@@ -1,0 +1,142 @@
+package simd
+
+import "encoding/binary"
+
+// This file holds the batched classification kernels: instead of classifying
+// one 64-byte block per call through several single-purpose passes
+// (CmpEq8Pair for quotes, BracketMasks, CmpEq8 for commas and colons), a
+// batch kernel sweeps a contiguous run of blocks in one tight loop and
+// derives every raw mask from a single load of each 8-byte word. The fused
+// sweep reads the document bytes exactly once and amortizes the per-call
+// dispatch over the whole run, the way simdjson's stage-1 builds its
+// structural index in one pass over the input.
+//
+// The kernels emit *raw* masks only — escape handling and the in-string
+// parity are inherently sequential across blocks and are layered on top by
+// classifier.BuildPlanes.
+
+// Broadcast comparison targets for the raw sweep.
+const (
+	batchBackslash = uint64('\\') * lowBytes
+	batchQuote     = uint64('"') * lowBytes
+	batchOpen      = uint64('{') * lowBytes // after bit-5 folding: '{' and '['
+	batchClose     = uint64('}') * lowBytes // after bit-5 folding: '}' and ']'
+	batchComma     = uint64(',') * lowBytes
+	batchColon     = uint64(':') * lowBytes
+	bit5Fold       = 0x2020202020202020 // folds '['/']' onto '{'/'}' (see BracketMasks)
+)
+
+// RawMasks computes the six raw per-block masks of one padded block in a
+// single pass over its bytes: backslashes, double quotes (escaped or not),
+// opening and closing brackets of both kinds, commas, and colons. It is the
+// per-block form of BatchRawMasks, used for the final partial block and as
+// the reference implementation in tests.
+func RawMasks(b *Block) (backslash, quote, opens, closes, commas, colons uint64) {
+	for i := 0; i < BlockSize; i += 8 {
+		w := word(b, i)
+		backslash |= movemaskZero(w^batchBackslash) << uint(i)
+		quote |= movemaskZero(w^batchQuote) << uint(i)
+		wf := w | bit5Fold
+		opens |= movemaskZero(wf^batchOpen) << uint(i)
+		closes |= movemaskZero(wf^batchClose) << uint(i)
+		commas |= movemaskZero(w^batchComma) << uint(i)
+		colons |= movemaskZero(w^batchColon) << uint(i)
+	}
+	return
+}
+
+// BatchRawMasks sweeps every full 64-byte block of data in one loop, storing
+// block i's raw masks at index i of each destination plane. Every
+// destination must hold at least len(data)/BlockSize words; the number of
+// full blocks processed is returned (the caller pads and classifies the
+// partial tail, if any, with LoadBlock + RawMasks).
+//
+// The body is unrolled by hand: gc does not unroll loops, and with the
+// 8-word loop written out every mask shift is a constant and the eight
+// detect chains are independent, which is where the batch layer's advantage
+// over per-block calls comes from.
+func BatchRawMasks(data []byte, backslash, quote, opens, closes, commas, colons []uint64) int {
+	n := len(data) / BlockSize
+	if n == 0 {
+		return 0
+	}
+	// Reslice once so the stores below are provably in bounds.
+	backslash = backslash[:n]
+	quote = quote[:n]
+	opens = opens[:n]
+	closes = closes[:n]
+	commas = commas[:n]
+	colons = colons[:n]
+	for i := 0; i < n; i++ {
+		b := data[i*BlockSize:]
+		b = b[:BlockSize:BlockSize]
+		w0 := binary.LittleEndian.Uint64(b[0:8])
+		w1 := binary.LittleEndian.Uint64(b[8:16])
+		w2 := binary.LittleEndian.Uint64(b[16:24])
+		w3 := binary.LittleEndian.Uint64(b[24:32])
+		w4 := binary.LittleEndian.Uint64(b[32:40])
+		w5 := binary.LittleEndian.Uint64(b[40:48])
+		w6 := binary.LittleEndian.Uint64(b[48:56])
+		w7 := binary.LittleEndian.Uint64(b[56:64])
+
+		backslash[i] = movemaskZero(w0^batchBackslash) |
+			movemaskZero(w1^batchBackslash)<<8 |
+			movemaskZero(w2^batchBackslash)<<16 |
+			movemaskZero(w3^batchBackslash)<<24 |
+			movemaskZero(w4^batchBackslash)<<32 |
+			movemaskZero(w5^batchBackslash)<<40 |
+			movemaskZero(w6^batchBackslash)<<48 |
+			movemaskZero(w7^batchBackslash)<<56
+		quote[i] = movemaskZero(w0^batchQuote) |
+			movemaskZero(w1^batchQuote)<<8 |
+			movemaskZero(w2^batchQuote)<<16 |
+			movemaskZero(w3^batchQuote)<<24 |
+			movemaskZero(w4^batchQuote)<<32 |
+			movemaskZero(w5^batchQuote)<<40 |
+			movemaskZero(w6^batchQuote)<<48 |
+			movemaskZero(w7^batchQuote)<<56
+		commas[i] = movemaskZero(w0^batchComma) |
+			movemaskZero(w1^batchComma)<<8 |
+			movemaskZero(w2^batchComma)<<16 |
+			movemaskZero(w3^batchComma)<<24 |
+			movemaskZero(w4^batchComma)<<32 |
+			movemaskZero(w5^batchComma)<<40 |
+			movemaskZero(w6^batchComma)<<48 |
+			movemaskZero(w7^batchComma)<<56
+		colons[i] = movemaskZero(w0^batchColon) |
+			movemaskZero(w1^batchColon)<<8 |
+			movemaskZero(w2^batchColon)<<16 |
+			movemaskZero(w3^batchColon)<<24 |
+			movemaskZero(w4^batchColon)<<32 |
+			movemaskZero(w5^batchColon)<<40 |
+			movemaskZero(w6^batchColon)<<48 |
+			movemaskZero(w7^batchColon)<<56
+
+		// Brackets run on the bit-5-folded words (see BracketMasks).
+		w0 |= bit5Fold
+		w1 |= bit5Fold
+		w2 |= bit5Fold
+		w3 |= bit5Fold
+		w4 |= bit5Fold
+		w5 |= bit5Fold
+		w6 |= bit5Fold
+		w7 |= bit5Fold
+		opens[i] = movemaskZero(w0^batchOpen) |
+			movemaskZero(w1^batchOpen)<<8 |
+			movemaskZero(w2^batchOpen)<<16 |
+			movemaskZero(w3^batchOpen)<<24 |
+			movemaskZero(w4^batchOpen)<<32 |
+			movemaskZero(w5^batchOpen)<<40 |
+			movemaskZero(w6^batchOpen)<<48 |
+			movemaskZero(w7^batchOpen)<<56
+		closes[i] = movemaskZero(w0^batchClose) |
+			movemaskZero(w1^batchClose)<<8 |
+			movemaskZero(w2^batchClose)<<16 |
+			movemaskZero(w3^batchClose)<<24 |
+			movemaskZero(w4^batchClose)<<32 |
+			movemaskZero(w5^batchClose)<<40 |
+			movemaskZero(w6^batchClose)<<48 |
+			movemaskZero(w7^batchClose)<<56
+	}
+	return n
+}

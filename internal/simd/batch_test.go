@@ -1,0 +1,98 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMasks computes the six raw masks of one block through the established
+// per-block kernels, as the oracle for the fused forms.
+func refMasks(b *Block) [6]uint64 {
+	var m [6]uint64
+	m[0], m[1] = CmpEq8Pair(b, '\\', '"')
+	m[2], m[3] = BracketMasks(b)
+	m[4] = CmpEq8(b, ',')
+	m[5] = CmpEq8(b, ':')
+	return m
+}
+
+func batchTestInputs() [][]byte {
+	r := rand.New(rand.NewSource(42))
+	inputs := [][]byte{
+		[]byte(`{"a": [1, 2, {"b\\": "x,y:z"}], "c": null}`),
+		[]byte("{}[],::\"\\"),
+		nil,
+	}
+	// All byte values, cycled, across several non-multiple-of-64 lengths.
+	all := make([]byte, 1024)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	inputs = append(inputs, all)
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 256, 1000} {
+		doc := make([]byte, n)
+		for i := range doc {
+			doc[i] = byte(r.Intn(256))
+		}
+		inputs = append(inputs, doc)
+	}
+	return inputs
+}
+
+func TestRawMasksMatchesPerBlockKernels(t *testing.T) {
+	for _, data := range batchTestInputs() {
+		for off := 0; off < len(data); off += BlockSize {
+			var b Block
+			LoadBlock(&b, data[off:], ' ')
+			want := refMasks(&b)
+			var got [6]uint64
+			got[0], got[1], got[2], got[3], got[4], got[5] = RawMasks(&b)
+			if got != want {
+				t.Fatalf("len=%d block@%d: RawMasks %x, per-block kernels %x", len(data), off, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchRawMasksMatchesPerBlockKernels(t *testing.T) {
+	for _, data := range batchTestInputs() {
+		n := len(data) / BlockSize
+		planes := make([][]uint64, 6)
+		for i := range planes {
+			planes[i] = make([]uint64, n)
+		}
+		got := BatchRawMasks(data, planes[0], planes[1], planes[2], planes[3], planes[4], planes[5])
+		if got != n {
+			t.Fatalf("len=%d: BatchRawMasks returned %d blocks, want %d", len(data), got, n)
+		}
+		for idx := 0; idx < n; idx++ {
+			var b Block
+			LoadBlock(&b, data[idx*BlockSize:], ' ')
+			want := refMasks(&b)
+			for p := range planes {
+				if planes[p][idx] != want[p] {
+					t.Fatalf("len=%d block %d plane %d: %#x, want %#x",
+						len(data), idx, p, planes[p][idx], want[p])
+				}
+			}
+		}
+	}
+}
+
+// The batch sweep must never read past the last full block: the tail is the
+// caller's to pad. Proven by handing it a slice whose tail bytes would
+// change the masks if touched.
+func TestBatchRawMasksIgnoresTail(t *testing.T) {
+	data := make([]byte, BlockSize+7)
+	for i := range data {
+		data[i] = '"' // tail full of quotes; masks must not see them
+	}
+	planes := make([]uint64, 1)
+	zero := make([]uint64, 1)
+	if n := BatchRawMasks(data, zero, planes, zero, zero, zero, zero); n != 1 {
+		t.Fatalf("blocks %d, want 1", n)
+	}
+	if planes[0] != ^uint64(0) {
+		t.Fatalf("quote mask %#x, want all-ones", planes[0])
+	}
+}

@@ -112,6 +112,19 @@ func runLinesParallel[R any](r io.Reader, workers int,
 	return rerr
 }
 
+// offsetsPool and setMatchPool recycle the per-record scratch buffers of the
+// lines families: without them every record allocates a fresh offsets slice
+// (and, for sets, a fresh match slice), which at JSON Lines rates dominates
+// the allocation profile. A buffer's lifecycle is Get at evaluation, travel
+// with the job, Put after delivery; jobs abandoned during wind-down leak
+// their buffer to the garbage collector, which is fine — wind-down is not a
+// steady state. Safe because supervisor.Run is synchronous: no attempt
+// goroutine outlives the evaluation that borrowed the buffer.
+var (
+	offsetsPool  = sync.Pool{New: func() any { return new([]int) }}
+	setMatchPool = sync.Pool{New: func() any { return new([]setMatch) }}
+)
+
 // RunLinesParallel is RunLines evaluated by a pool of workers: records are
 // read in input order, evaluated concurrently, and delivered to visit in
 // input order with the same per-record supervision as RunLines (deadline
@@ -129,18 +142,26 @@ func (q *Query) RunLinesParallel(r io.Reader, workers int, visit func(m LineMatc
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return runLinesParallel(r, workers,
-		func(ctx context.Context, record []byte) ([]int, Outcome, error) {
-			return q.runSupervisedOffsets(ctx, record, nil)
+		func(ctx context.Context, record []byte) (*[]int, Outcome, error) {
+			sp := offsetsPool.Get().(*[]int)
+			offs, oc, err := q.runSupervisedOffsets(ctx, record, *sp)
+			*sp = offs
+			return sp, oc, err
 		},
-		func(job *lineJob[[]int]) error {
-			if job.err == nil && len(job.res) == 0 && !job.oc.Degraded() {
+		func(job *lineJob[*[]int]) error {
+			var offs []int
+			if job.res != nil { // nil only for jobs settled during wind-down
+				defer offsetsPool.Put(job.res)
+				offs = *job.res
+			}
+			if job.err == nil && len(offs) == 0 && !job.oc.Degraded() {
 				return nil
 			}
 			m := LineMatch{Line: job.line, Record: job.record, Outcome: &job.oc}
 			if job.err != nil {
 				m.Err = job.err
 			} else {
-				m.Offsets = job.res
+				m.Offsets = offs
 			}
 			return visit(m)
 		})
@@ -169,18 +190,20 @@ type SetLineMatch struct {
 // setLineEval evaluates one record for the set lines family, converting the
 // supervised (query, offset) pairs into per-query offset lists.
 func (s *QuerySet) setLineEval(ctx context.Context, record []byte) ([][]int, Outcome, error) {
-	matches, oc, err := s.runSupervisedMatches(ctx, record, nil)
-	if err != nil {
-		return nil, oc, err
+	mp := setMatchPool.Get().(*[]setMatch)
+	matches, oc, err := s.runSupervisedMatches(ctx, record, *mp)
+	var out [][]int
+	if err == nil && len(matches) > 0 {
+		out = make([][]int, s.Len())
+		for _, m := range matches {
+			out[m.query] = append(out[m.query], m.pos)
+		}
 	}
-	if len(matches) == 0 {
-		return nil, oc, nil
-	}
-	out := make([][]int, s.Len())
-	for _, m := range matches {
-		out[m.query] = append(out[m.query], m.pos)
-	}
-	return out, oc, nil
+	// The (query, offset) pairs have been transcribed; the scratch can go
+	// straight back, whatever the outcome.
+	*mp = matches[:0]
+	setMatchPool.Put(mp)
+	return out, oc, err
 }
 
 // RunLines streams newline-delimited JSON from r through the set's shared

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"rsonpath/internal/automaton"
+	"rsonpath/internal/classifier"
 	"rsonpath/internal/input"
 	"rsonpath/internal/jsonpath"
 	"rsonpath/internal/multiquery"
@@ -17,6 +18,7 @@ import (
 type setRunner interface {
 	Run(data []byte, emit func(query, pos int)) error
 	RunInput(in input.Input, emit func(query, pos int)) error
+	RunPlanes(in input.Input, planes *classifier.Planes, emit func(query, pos int)) error
 	Len() int
 }
 

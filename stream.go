@@ -53,6 +53,7 @@ func (q *Query) RunReader(r io.Reader, emit func(pos int)) error {
 		return q.RunReaderContext(context.Background(), r, emit)
 	}
 	in := input.NewBuffered(r, q.window)
+	defer in.Release()
 	if q.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(q.limits.maxDocBytes)
 	}
@@ -72,6 +73,7 @@ func (q *Query) RunReaderValues(r io.Reader, visit func(pos int, value []byte)) 
 		return ErrStreamingUnsupported
 	}
 	in := input.NewBuffered(r, q.window)
+	defer in.Release()
 	if q.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(q.limits.maxDocBytes)
 	}
@@ -194,6 +196,7 @@ func (s *QuerySet) RunReader(r io.Reader, emit func(query, pos int)) error {
 		return s.RunReaderContext(context.Background(), r, emit)
 	}
 	in := input.NewBuffered(r, s.window)
+	defer in.Release()
 	if s.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(s.limits.maxDocBytes)
 	}

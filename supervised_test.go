@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"rsonpath/internal/classifier"
 	"rsonpath/internal/faultreader"
 	"rsonpath/internal/input"
 )
@@ -327,6 +328,14 @@ func (f *faultySet) RunInput(in input.Input, emit func(query, pos int)) error {
 		panic("injected set fault")
 	}
 	return f.inner.RunInput(in, f.hook(emit))
+}
+
+func (f *faultySet) RunPlanes(in input.Input, planes *classifier.Planes, emit func(query, pos int)) error {
+	if f.failAt < 0 {
+		f.fired++
+		panic("injected set fault")
+	}
+	return f.inner.RunPlanes(in, planes, f.hook(emit))
 }
 
 // TestQuerySetSupervisedFallback: a fault in the shared one-pass driver

@@ -167,6 +167,7 @@ func (q *Query) runCtx(ctx context.Context, data []byte, emit func(pos int)) err
 	cr := newCtxReader(ctx, bytes.NewReader(data))
 	defer cr.stop()
 	in := input.NewBuffered(cr, q.window)
+	defer in.Release()
 	if q.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(q.limits.maxDocBytes)
 	}
@@ -298,6 +299,7 @@ func (q *Query) RunReaderSupervised(ctx context.Context, open func() (io.Reader,
 		cr := newCtxReader(actx, r)
 		defer cr.stop()
 		in := input.NewBuffered(cr, q.window)
+		defer in.Release()
 		if q.limits.maxDocBytes > 0 {
 			in.LimitDocBytes(q.limits.maxDocBytes)
 		}
@@ -358,6 +360,7 @@ func (s *QuerySet) runCtx(ctx context.Context, data []byte, emit func(query, pos
 	cr := newCtxReader(ctx, bytes.NewReader(data))
 	defer cr.stop()
 	in := input.NewBuffered(cr, s.window)
+	defer in.Release()
 	if s.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(s.limits.maxDocBytes)
 	}
