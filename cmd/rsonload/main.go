@@ -1,0 +1,105 @@
+// Command rsonload drives an rsonpathd instance with concurrent queries and
+// prints throughput and latency percentiles. It is the measurement half of
+// the serving experiment (EXPERIMENTS.md) and the CI serve smoke.
+//
+// Usage:
+//
+//	rsonload -url http://127.0.0.1:8077/v1/query -query '$..a' -doc doc.json -n 1000 -c 8
+//
+// Exit codes mirror the CLI's conventions:
+//
+//	0  run completed, all responses OK and fully supervised
+//	1  transport errors or non-200 responses (or bad invocation)
+//	6  run completed but the server reported degraded outcomes
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsonpath/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rsonload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:8077/v1/query", "rsonpathd query endpoint")
+		query    = fs.String("query", "", "JSONPath query to send (required)")
+		mode     = fs.String("mode", "count", "result mode: count, offsets or values")
+		docPath  = fs.String("doc", "", "JSON document file to send ({} if empty)")
+		conc     = fs.Int("c", 4, "concurrent connections")
+		requests = fs.Int("n", 0, "total request budget (0 = run for -duration)")
+		duration = fs.Duration("duration", 10*time.Second, "run length when -n is 0")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *query == "" {
+		fmt.Fprintln(stderr, "rsonload: -query is required")
+		return 1
+	}
+	var doc []byte
+	if *docPath != "" {
+		b, err := os.ReadFile(*docPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rsonload:", err)
+			return 1
+		}
+		doc = b
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		URL:         *url,
+		Query:       *query,
+		Mode:        *mode,
+		Document:    doc,
+		Concurrency: *conc,
+		Requests:    *requests,
+		Duration:    *duration,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "rsonload:", err)
+		return 1
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Fprintf(stdout, "requests   %d (errors %d, non-200 %d, degraded %d)\n",
+			rep.Requests, rep.Errors, rep.NonOK, rep.Degraded)
+		fmt.Fprintf(stdout, "elapsed    %.2fs  (%.0f req/s)\n", rep.ElapsedSeconds, rep.Throughput)
+		fmt.Fprintf(stdout, "latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+			rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP99MS, rep.LatencyMaxMS)
+		for code, n := range rep.StatusCounts {
+			fmt.Fprintf(stdout, "status %s %d\n", code, n)
+		}
+	}
+
+	switch {
+	case rep.Errors > 0 || rep.NonOK > 0:
+		return 1
+	case rep.Degraded > 0:
+		return 6
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,129 @@
+// Command rsonpathd is the JSONPath query daemon: a long-running HTTP/JSON
+// service that keeps compiled queries hot in an LRU cache, optionally
+// indexes documents it sees repeatedly, runs every request under the
+// execution supervisor with a per-request deadline, and reports degraded
+// requests in responses and metrics. See DESIGN.md §12.
+//
+// Usage:
+//
+//	rsonpathd [flags]
+//
+// Endpoints:
+//
+//	POST /v1/query   evaluate a query (JSON envelope, raw document with
+//	                 ?query=..., or NDJSON body with ?query=...)
+//	GET  /healthz    liveness probe
+//	GET  /metrics    Prometheus-style counters
+//	GET  /version    build identification
+//
+// Examples:
+//
+//	rsonpathd -addr :8077 -timeout 2s
+//	curl -s localhost:8077/v1/query -d '{"query": "$..price", "document": {"price": 9}, "mode": "count"}'
+//	curl -s 'localhost:8077/v1/query?query=%24..price&mode=count' --data-binary @doc.json
+//	curl -s 'localhost:8077/v1/query?query=%24.event' -H 'Content-Type: application/x-ndjson' --data-binary @log.jsonl
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests finish under the -drain deadline, then
+// remaining connections are closed forcibly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsonpath/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive the
+// daemon in-process: ctx cancellation plays the role of SIGINT/SIGTERM.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rsonpathd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8077", "listen address")
+		queryCache = fs.Int("query-cache", 256, "compiled-query LRU capacity")
+		docCache   = fs.Int("doc-cache", 128, "indexed-document LRU capacity (0 = off)")
+		docAfter   = fs.Int("doc-cache-after", 2, "sightings of a document before its index is built")
+		timeout    = fs.Duration("timeout", 2*time.Second, "watchdog deadline per request (per record for NDJSON; 0 = none)")
+		fallback   = fs.String("fallback", "on", "degrade to the DOM oracle on internal faults: on or off")
+		retry      = fs.Int("retry", 0, "retries of a request's streaming attempts on transient read errors")
+		retryWait  = fs.Duration("retry-backoff", 50*time.Millisecond, "sleep between retries")
+		maxDepth   = fs.Int("max-depth", 0, "document nesting limit (0 = default, negative = unlimited)")
+		maxMatch   = fs.Int("max-matches", 0, "abort a run after this many matches (0 = unlimited)")
+		maxBytes   = fs.Int("max-doc-bytes", 0, "largest document accepted by a run, in bytes (0 = unlimited)")
+		maxBody    = fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "largest HTTP request body accepted, in bytes")
+		parallel   = fs.Int("parallel", 0, "NDJSON worker-pool width (0 = GOMAXPROCS)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		version    = fs.String("version", "dev", "version string reported by /version")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "rsonpathd: unexpected arguments:", fs.Args())
+		return 2
+	}
+	if *fallback != "on" && *fallback != "off" {
+		fmt.Fprintf(stderr, "rsonpathd: -fallback must be on or off, not %q\n", *fallback)
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		QueryCacheSize: *queryCache,
+		DocCacheSize:   *docCache,
+		DocCacheAfter:  *docAfter,
+		Timeout:        *timeout,
+		FallbackOff:    *fallback == "off",
+		RetryMax:       *retry,
+		RetryBackoff:   *retryWait,
+		MaxDepth:       *maxDepth,
+		MaxMatches:     *maxMatch,
+		MaxDocBytes:    *maxBytes,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *parallel,
+		Version:        *version,
+	})
+	if err := srv.Listen(); err != nil {
+		fmt.Fprintln(stderr, "rsonpathd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rsonpathd: listening on %s\n", srv.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(stderr, "rsonpathd:", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+		fmt.Fprintf(stderr, "rsonpathd: shutting down, draining for up to %s\n", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintln(stderr, "rsonpathd: drain deadline exceeded; connections closed")
+		}
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(stderr, "rsonpathd:", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon's run() in-process on a loopback port and
+// returns its base URL plus the cancel that plays the role of SIGTERM and a
+// channel carrying the exit code.
+func startDaemon(t *testing.T, extraArgs ...string) (base string, cancel context.CancelFunc, exit chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	exit = make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "2s"}, extraArgs...)
+	go func() { exit <- run(ctx, args, pw, io.Discard) }()
+
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	go io.Copy(io.Discard, pr) // drain any later output
+	const prefix = "rsonpathd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	return "http://" + addr, cancel, exit
+}
+
+// TestDaemonServesAndDrains boots the daemon, queries it over a real
+// connection, then cancels the context and expects a clean exit.
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, cancel, exit := startDaemon(t, "-timeout", "5s", "-version", "test")
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	body := `{"query": "$..b", "mode": "count", "document": {"a": {"b": 1}, "b": 2}}`
+	resp, err = http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d body=%s", resp.StatusCode, out)
+	}
+	if !strings.Contains(string(out), `"count": 2`) && !strings.Contains(string(out), `"count":2`) {
+		t.Fatalf("query body = %s, want count 2", out)
+	}
+
+	resp, err = http.Get(base + "/version")
+	if err != nil {
+		t.Fatalf("version: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(out), `"test"`) {
+		t.Fatalf("version body = %s, want the -version flag echoed", out)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestDaemonFlagValidation covers rejected invocations.
+func TestDaemonFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-fallback", "sometimes"},
+		{"-no-such-flag"},
+		{"positional"},
+	}
+	for i, args := range cases {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		code := run(ctx, args, io.Discard, io.Discard)
+		cancel()
+		if code != 2 {
+			t.Errorf("case %d (%v): exit = %d, want 2", i, args, code)
+		}
+	}
+}
+
+// TestDaemonListenError verifies a bad address is reported, not served.
+func TestDaemonListenError(t *testing.T) {
+	var stderr strings.Builder
+	code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestDaemonConfiguredLimits verifies flags reach the server: a match limit
+// of 1 turns a two-match query into HTTP 413.
+func TestDaemonConfiguredLimits(t *testing.T) {
+	base, cancel, exit := startDaemon(t, "-max-matches", "1")
+	defer func() {
+		cancel()
+		<-exit
+	}()
+	body := `{"query": "$..b", "document": {"a": {"b": 1}, "b": 2}}`
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d body=%s, want 413 from -max-matches", resp.StatusCode, out)
+	}
+	if !strings.Contains(string(out), "limit") {
+		t.Fatalf("body %s does not name the limit error kind", out)
+	}
+}

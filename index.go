@@ -1,9 +1,12 @@
 package rsonpath
 
 import (
+	"context"
+
 	"rsonpath/internal/classifier"
 	"rsonpath/internal/engine"
 	"rsonpath/internal/input"
+	"rsonpath/internal/supervisor"
 )
 
 // IndexedDocument is a document classified once and queried many times: the
@@ -79,6 +82,45 @@ func (q *Query) RunIndexed(doc *IndexedDocument, emit func(pos int)) error {
 	return guardRun(q.kind.String(), func() error {
 		return e.RunPlanes(doc.in, doc.planes, q.limits.limitEmit(emit))
 	})
+}
+
+// RunIndexedSupervised is RunIndexed under the execution supervisor: the
+// plane-backed run observes ctx at entry (a plane run is atomic — like
+// EngineDOM, it cannot be interrupted mid-document), and an internal fault
+// degrades to the DOM oracle over the indexed bytes. Matches are delivered
+// only once the run settles; the Outcome reports which path produced them.
+// This is the serving path for a hot document cache: the index keeps the
+// classification amortized while degradation stays observable per request.
+func (q *Query) RunIndexedSupervised(ctx context.Context, doc *IndexedDocument, emit func(pos int)) (Outcome, error) {
+	e, ok := q.run.(*engine.Engine)
+	if !ok {
+		// No plane surface to serve from; the supervised in-memory run is the
+		// same evaluation the unsupervised fallback in RunIndexed would do.
+		return q.RunSupervised(ctx, doc.data, emit)
+	}
+	var buf []int
+	primary := supervisor.Attempt{Engine: q.kind.String(), Run: func(actx context.Context) error {
+		buf = buf[:0]
+		if err := actx.Err(); err != nil {
+			return convertErr(err)
+		}
+		if err := q.limits.checkDocBytes(len(doc.data)); err != nil {
+			return err
+		}
+		return guardRun(q.kind.String(), func() error {
+			return e.RunPlanes(doc.in, doc.planes, q.limits.limitEmit(func(pos int) { buf = append(buf, pos) }))
+		})
+	}}
+	so, err := supervisor.Run(ctx, q.sup.policy(false), primary, q.oracleAttempt(doc.data, &buf))
+	oc := Outcome(so)
+	if err != nil && degradable(err) {
+		buf = nil
+	}
+	derr := deliverOffsets(oc.Engine, buf, emit)
+	if err == nil {
+		err = derr
+	}
+	return oc, err
 }
 
 // CountIndexed returns the number of matches in the indexed document.

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunServe smoke-tests the serving experiment at a tiny scale: every
+// scenario completes, the report is internally consistent, and the
+// concurrent load run sees no failures.
+func TestRunServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two HTTP daemons")
+	}
+	h := tiny()
+	rep, err := h.RunServe()
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if rep.DocBytes == 0 {
+		t.Error("document was empty")
+	}
+	if rep.ColdCompileMicros <= rep.CacheHitMicros {
+		t.Errorf("cold compile %.3fµs not slower than cache hit %.3fµs",
+			rep.ColdCompileMicros, rep.CacheHitMicros)
+	}
+	if rep.CacheSpeedup <= 1 {
+		t.Errorf("cache speedup = %.2f, want > 1", rep.CacheSpeedup)
+	}
+	names := make(map[string]bool)
+	for _, s := range rep.HTTP {
+		names[s.Name] = true
+		if s.MeanMicros <= 0 {
+			t.Errorf("%s: non-positive latency", s.Name)
+		}
+	}
+	for _, want := range []string{"cold_compile", "query_cache_hit", "repeat_doc_unindexed", "repeat_doc_indexed"} {
+		if !names[want] {
+			t.Errorf("scenario %q missing from report", want)
+		}
+	}
+	if rep.Load.Errors != 0 || rep.Load.NonOK != 0 || rep.Load.Degraded != 0 {
+		t.Errorf("load run saw failures: %+v", rep.Load)
+	}
+
+	var out bytes.Buffer
+	RenderServe(&out, rep)
+	for _, want := range []string{"cache hit", "query_cache_hit", "req/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("RenderServe output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package loadgen drives an rsonpathd instance with concurrent /v1/query
+// requests and reports throughput and latency percentiles. It backs the
+// rsonload command and the rsonbench serve experiment.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one load run.
+type Config struct {
+	// URL is the full query endpoint, e.g. "http://127.0.0.1:8077/v1/query".
+	URL string
+	// Query is the JSONPath query text sent in every request.
+	Query string
+	// Mode is the requested result mode: "count", "offsets" or "values"
+	// (empty = server default).
+	Mode string
+	// Document is the JSON document sent in every request body.
+	Document []byte
+	// Concurrency is the number of worker goroutines (default 1).
+	Concurrency int
+	// Requests is the total request budget; 0 means run until Duration (or
+	// ctx) expires.
+	Requests int
+	// Duration bounds the run in wall-clock time when Requests is 0.
+	Duration time.Duration
+	// Timeout is the per-request HTTP client timeout (default 10s).
+	Timeout time.Duration
+}
+
+// Report aggregates one load run.
+type Report struct {
+	Requests       int            `json:"requests"`
+	Errors         int            `json:"errors"`
+	NonOK          int            `json:"non_ok"`
+	Degraded       int            `json:"degraded"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	Throughput     float64        `json:"throughput_rps"`
+	LatencyP50MS   float64        `json:"latency_p50_ms"`
+	LatencyP90MS   float64        `json:"latency_p90_ms"`
+	LatencyP99MS   float64        `json:"latency_p99_ms"`
+	LatencyMaxMS   float64        `json:"latency_max_ms"`
+	StatusCounts   map[string]int `json:"status_counts"`
+}
+
+// responseProbe is the slice of the server's response the generator
+// inspects: enough to notice degraded supervision outcomes.
+type responseProbe struct {
+	Degraded bool `json:"degraded"`
+}
+
+// Run executes the configured load against the server and blocks until the
+// request budget is spent, the duration elapses, or ctx is canceled. Every
+// response body is fully read and decoded, so a garbled response counts as
+// an error rather than passing silently.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.URL == "" {
+		return Report{}, errors.New("loadgen: URL required")
+	}
+	if cfg.Query == "" {
+		return Report{}, errors.New("loadgen: query required")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return Report{}, errors.New("loadgen: need a request budget or a duration")
+	}
+	doc := cfg.Document
+	if len(doc) == 0 {
+		doc = []byte(`{}`)
+	}
+	if !json.Valid(doc) {
+		return Report{}, errors.New("loadgen: document is not valid JSON")
+	}
+
+	// The envelope is identical for every request; build it once. The
+	// document is embedded verbatim (json.RawMessage survives Marshal as-is
+	// only if already compact, so splice by hand like the server tests do).
+	var body bytes.Buffer
+	body.WriteString(`{"query": `)
+	q, _ := json.Marshal(cfg.Query)
+	body.Write(q)
+	if cfg.Mode != "" {
+		fmt.Fprintf(&body, `, "mode": %q`, cfg.Mode)
+	}
+	body.WriteString(`, "document": `)
+	body.Write(doc)
+	body.WriteString(`}`)
+	payload := body.Bytes()
+
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency,
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	type workerStats struct {
+		requests, errors, nonOK, degraded int
+		latencies                         []time.Duration
+		statuses                          map[int]int
+	}
+	var (
+		issued atomic.Int64 // tickets taken against cfg.Requests
+		wg     sync.WaitGroup
+		stats  = make([]workerStats, cfg.Concurrency)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(st *workerStats) {
+			defer wg.Done()
+			st.statuses = make(map[int]int)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if cfg.Requests > 0 && issued.Add(1) > int64(cfg.Requests) {
+					return
+				}
+				t0 := time.Now()
+				status, degraded, err := do(ctx, client, cfg.URL, payload)
+				st.requests++
+				st.latencies = append(st.latencies, time.Since(t0))
+				switch {
+				case err != nil:
+					if ctx.Err() != nil {
+						// The run ended mid-request; not a server fault.
+						st.requests--
+						st.latencies = st.latencies[:len(st.latencies)-1]
+						return
+					}
+					st.errors++
+				case status != http.StatusOK:
+					st.nonOK++
+					st.statuses[status]++
+				default:
+					st.statuses[status]++
+					if degraded {
+						st.degraded++
+					}
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		rep       = Report{StatusCounts: make(map[string]int)}
+		latencies []time.Duration
+	)
+	for i := range stats {
+		st := &stats[i]
+		rep.Requests += st.requests
+		rep.Errors += st.errors
+		rep.NonOK += st.nonOK
+		rep.Degraded += st.degraded
+		latencies = append(latencies, st.latencies...)
+		for code, n := range st.statuses {
+			rep.StatusCounts[fmt.Sprint(code)] += n
+		}
+	}
+	rep.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.LatencyP50MS = percentileMS(latencies, 0.50)
+	rep.LatencyP90MS = percentileMS(latencies, 0.90)
+	rep.LatencyP99MS = percentileMS(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMaxMS = float64(latencies[n-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}
+
+// do issues one request and reports the status code and whether the server
+// marked the run degraded. The body is read to EOF so the connection is
+// reusable and truncated responses surface as errors.
+func do(ctx context.Context, client *http.Client, url string, payload []byte) (status int, degraded bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, false, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		var probe responseProbe
+		if err := json.Unmarshal(body, &probe); err != nil {
+			return resp.StatusCode, false, fmt.Errorf("garbled response body: %w", err)
+		}
+		return resp.StatusCode, probe.Degraded, nil
+	}
+	return resp.StatusCode, false, nil
+}
+
+// percentileMS reads the p-th percentile from sorted latencies, in
+// milliseconds (nearest-rank).
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"rsonpath/internal/server"
+)
+
+// startDaemon brings up a real rsonpathd server on a loopback port and
+// returns its query endpoint.
+func startDaemon(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	srv := server.New(cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return fmt.Sprintf("http://%s/v1/query", srv.Addr())
+}
+
+// TestLoadgenAgainstServer runs a small concurrent load against a live
+// daemon and expects every response intact: zero transport errors, zero
+// non-200s, zero degraded outcomes.
+func TestLoadgenAgainstServer(t *testing.T) {
+	url := startDaemon(t, server.Config{Timeout: 5 * time.Second})
+	rep, err := Run(context.Background(), Config{
+		URL:         url,
+		Query:       "$..b",
+		Mode:        "count",
+		Document:    []byte(`{"a": {"b": 1}, "b": [2, 3]}`),
+		Concurrency: 4,
+		Requests:    100,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests != 100 {
+		t.Errorf("requests = %d, want 100", rep.Requests)
+	}
+	if rep.Errors != 0 || rep.NonOK != 0 || rep.Degraded != 0 {
+		t.Errorf("errors=%d nonOK=%d degraded=%d, want all zero", rep.Errors, rep.NonOK, rep.Degraded)
+	}
+	if rep.StatusCounts["200"] != 100 {
+		t.Errorf("status 200 count = %d, want 100", rep.StatusCounts["200"])
+	}
+	if rep.Throughput <= 0 || rep.LatencyP50MS <= 0 || rep.LatencyMaxMS < rep.LatencyP99MS {
+		t.Errorf("implausible report: %+v", rep)
+	}
+}
+
+// TestLoadgenCountsNonOK verifies rejected requests are tallied as non-OK,
+// not dropped or misread as successes.
+func TestLoadgenCountsNonOK(t *testing.T) {
+	url := startDaemon(t, server.Config{})
+	rep, err := Run(context.Background(), Config{
+		URL:         url,
+		Query:       "$[", // compile error: every request is a 400
+		Document:    []byte(`{}`),
+		Concurrency: 2,
+		Requests:    10,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.NonOK != 10 || rep.StatusCounts["400"] != 10 {
+		t.Errorf("nonOK=%d statuses=%v, want 10 rejections", rep.NonOK, rep.StatusCounts)
+	}
+}
+
+// TestLoadgenDurationMode verifies the wall-clock budget terminates the run.
+func TestLoadgenDurationMode(t *testing.T) {
+	url := startDaemon(t, server.Config{})
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		URL:         url,
+		Query:       "$.a",
+		Document:    []byte(`{"a": 1}`),
+		Concurrency: 2,
+		Duration:    150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests == 0 {
+		t.Errorf("no requests completed in the window")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("duration mode ran for %v", elapsed)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (cancellation mid-request must not count)", rep.Errors)
+	}
+}
+
+// TestLoadgenConfigValidation covers the rejected configurations.
+func TestLoadgenConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},                            // no URL
+		{URL: "http://x"},             // no query
+		{URL: "http://x", Query: "$"}, // no budget
+		{URL: "http://x", Query: "$",
+			Requests: 1, Document: []byte(`{bad`)}, // invalid document
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: Run accepted invalid config %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"rsonpath"
+)
+
+// docCache is the daemon's classify-once-query-many layer: an LRU of
+// rsonpath.IndexedDocument keyed by the SHA-256 of the document bytes. A
+// document seen fewer than `after` times is only counted (building the
+// index costs one classification sweep plus ~9.4% of the document in mask
+// planes, which BENCH_swar.json shows repays itself within ~8 queries —
+// counting first keeps one-shot documents from churning the cache); once a
+// document proves hot the index is built and every later request with the
+// same bytes serves its classification from the planes.
+//
+// Content hashing makes the cache safe by construction: a stale entry is
+// impossible because a changed document is a different key. Collisions are
+// cryptographically negligible.
+type docCache struct {
+	mu       sync.Mutex
+	capacity int
+	after    int
+	entries  map[[sha256.Size]byte]*list.Element // value: *docEntry
+	lru      *list.List
+}
+
+// docEntry is one sighted document: a counter until promotion, an index
+// afterwards.
+type docEntry struct {
+	key  [sha256.Size]byte
+	seen int
+	idx  *rsonpath.IndexedDocument
+}
+
+// newDocCache returns a cache holding at most capacity entries (counting
+// both promoted and still-counting documents). capacity <= 0 disables the
+// cache: lookup always reports a miss and stores nothing.
+func newDocCache(capacity, after int) *docCache {
+	if after < 1 {
+		after = 1
+	}
+	return &docCache{
+		capacity: capacity,
+		after:    after,
+		entries:  make(map[[sha256.Size]byte]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func (c *docCache) enabled() bool { return c != nil && c.capacity > 0 }
+
+// lookup returns the indexed form of doc when the cache holds one, counting
+// the sighting and building the index at the promotion threshold otherwise.
+// built reports that this call performed the build (the caller's metrics
+// distinguish a hit from the build that enables future hits). The build
+// copies doc, so the caller's buffer stays request-scoped; a document the
+// screens reject (malformed) is remembered as never-promotable rather than
+// re-screened each time.
+func (c *docCache) lookup(doc []byte) (idx *rsonpath.IndexedDocument, built bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	key := sha256.Sum256(doc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		e := &docEntry{key: key, seen: 1}
+		c.entries[key] = c.lru.PushFront(e)
+		if c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*docEntry).key)
+		}
+		c.maybePromote(e, doc)
+		return e.idx, e.idx != nil
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*docEntry)
+	if e.idx != nil {
+		return e.idx, false
+	}
+	e.seen++
+	c.maybePromote(e, doc)
+	return e.idx, e.idx != nil
+}
+
+// maybePromote builds the index once the sighting threshold is reached. A
+// failed build (input the index screens reject) leaves the entry as a
+// counter pinned below the threshold, so the malformed document is not
+// re-screened on every request; the request itself proceeds un-indexed and
+// gets the engine's own (better-positioned) malformed error.
+func (c *docCache) maybePromote(e *docEntry, doc []byte) {
+	if e.seen < c.after || e.idx != nil {
+		return
+	}
+	idx, err := rsonpath.Index(bytes.Clone(doc))
+	if err != nil {
+		e.seen = -1 << 30
+		return
+	}
+	e.idx = idx
+}
+
+// len returns the current entry count.
+func (c *docCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDocCachePromotion verifies the sighting threshold: no index on the
+// first lookups, a build at the threshold, hits after.
+func TestDocCachePromotion(t *testing.T) {
+	c := newDocCache(4, 3)
+	doc := []byte(`{"a": 1}`)
+	for i := 1; i <= 2; i++ {
+		if idx, built := c.lookup(doc); idx != nil || built {
+			t.Fatalf("sighting %d: premature index (built=%v)", i, built)
+		}
+	}
+	idx, built := c.lookup(doc)
+	if idx == nil || !built {
+		t.Fatalf("third sighting: idx=%v built=%v, want build", idx, built)
+	}
+	idx2, built := c.lookup(doc)
+	if idx2 != idx || built {
+		t.Fatalf("fourth sighting: want hit of the same index (built=%v)", built)
+	}
+}
+
+// TestDocCacheContentKeyed verifies different bytes never share an entry.
+func TestDocCacheContentKeyed(t *testing.T) {
+	c := newDocCache(4, 1)
+	a, _ := c.lookup([]byte(`{"a": 1}`))
+	b, _ := c.lookup([]byte(`{"a": 2}`))
+	if a == nil || b == nil || a == b {
+		t.Fatalf("content collision: %v %v", a, b)
+	}
+}
+
+// TestDocCacheEviction fills past capacity and verifies LRU discard.
+func TestDocCacheEviction(t *testing.T) {
+	c := newDocCache(2, 1)
+	docs := [][]byte{[]byte(`{"a": 1}`), []byte(`{"a": 2}`), []byte(`{"a": 3}`)}
+	for _, d := range docs {
+		if idx, _ := c.lookup(d); idx == nil {
+			t.Fatalf("threshold-1 lookup did not build for %s", d)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// The first document was evicted: looking it up again rebuilds.
+	if _, built := c.lookup(docs[0]); !built {
+		t.Fatalf("evicted document served without a rebuild")
+	}
+}
+
+// TestDocCacheMalformedNotRetried verifies a document the index screens
+// reject is remembered and not re-screened, and lookups keep reporting a
+// miss so requests run unindexed.
+func TestDocCacheMalformedNotRetried(t *testing.T) {
+	c := newDocCache(4, 1)
+	bad := []byte(`{"a": [1, 2}`) // unbalanced: ] missing
+	for i := 0; i < 3; i++ {
+		if idx, built := c.lookup(bad); idx != nil || built {
+			t.Fatalf("lookup %d: malformed document produced an index", i)
+		}
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 pinned counter entry", c.len())
+	}
+}
+
+// TestDocCacheDisabled verifies capacity 0 stores nothing.
+func TestDocCacheDisabled(t *testing.T) {
+	c := newDocCache(0, 1)
+	for i := 0; i < 3; i++ {
+		if idx, built := c.lookup([]byte(`{"a": 1}`)); idx != nil || built {
+			t.Fatalf("disabled cache built an index")
+		}
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache retained entries")
+	}
+}
+
+// TestDocCacheConcurrent exercises the lock under -race.
+func TestDocCacheConcurrent(t *testing.T) {
+	c := newDocCache(8, 2)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				doc := []byte(fmt.Sprintf(`{"k": %d}`, i%4))
+				c.lookup(doc)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+	"time"
+
+	"rsonpath"
+)
+
+// queryRequest is the JSON envelope of a single-document request. Exactly
+// one of Query/Queries must be set; Document carries the JSON document
+// verbatim (any JSON value).
+type queryRequest struct {
+	Query    string          `json:"query,omitempty"`
+	Queries  []string        `json:"queries,omitempty"`
+	Document json.RawMessage `json:"document,omitempty"`
+	// Mode selects the result shape: "values" (default), "offsets", or
+	// "count".
+	Mode string `json:"mode,omitempty"`
+}
+
+// queryResponse is the success envelope. Count is always present; Offsets
+// and Values per mode; Results replaces them for multi-query requests.
+// Values are re-emitted through the JSON encoder and arrive compacted
+// (whitespace-normalized) — byte positions in Offsets, by contrast, always
+// refer to the document exactly as it was sent.
+type queryResponse struct {
+	Count   int               `json:"count"`
+	Offsets []int             `json:"offsets,omitempty"`
+	Values  []json.RawMessage `json:"values,omitempty"`
+	Results []queryResult     `json:"results,omitempty"`
+
+	// Engine, Attempts, Degraded and FallbackReason surface the supervised
+	// run's Outcome: Degraded means the answer is correct but was produced
+	// by the DOM oracle after the primary engine faulted — the serving
+	// equivalent of the CLI's exit code 6.
+	Engine         string  `json:"engine"`
+	Attempts       int     `json:"attempts"`
+	Degraded       bool    `json:"degraded"`
+	FallbackReason string  `json:"fallback_reason,omitempty"`
+	DurationMS     float64 `json:"duration_ms"`
+	// DocumentCache reports how the document-index cache served this
+	// request: "hit", "built", "cold", or "off".
+	DocumentCache string `json:"document_cache,omitempty"`
+}
+
+// queryResult is one query's slice of a multi-query response.
+type queryResult struct {
+	Query   string            `json:"query"`
+	Count   int               `json:"count"`
+	Offsets []int             `json:"offsets,omitempty"`
+	Values  []json.RawMessage `json:"values,omitempty"`
+}
+
+// errorBody is the JSON error envelope; Kind is one of "bad_request",
+// "malformed", "limit", "timeout", "internal".
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Offset  *int   `json:"offset,omitempty"`
+}
+
+// degradedHeader marks responses answered by the fallback engine, so load
+// balancers and clients can see degradation without parsing the body.
+const degradedHeader = "X-Rsonpathd-Degraded"
+
+// handleQuery is POST /v1/query. Three request forms share the endpoint:
+//
+//   - JSON envelope: body {"query": ..., "document": ..., "mode": ...} (or
+//     "queries" for a QuerySet). The envelope parse validates the document
+//     shallowly, so defects the engine would pinpoint are reported as
+//     envelope errors; exact byte offsets need the raw form.
+//   - raw document: the "query" URL parameter is set and the body is the
+//     document itself, verbatim — no envelope, no double validation, the
+//     engine's own malformed-input verdicts (with offsets) surface.
+//   - NDJSON: Content-Type application/x-ndjson, query in the "query" URL
+//     parameter, body is newline-delimited records routed through the
+//     parallel lines worker pool.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.met.inflight.Add(-1)
+		s.met.observe(time.Since(start))
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	if ct == "application/x-ndjson" || ct == "application/ndjson" || ct == "application/jsonlines" {
+		s.handleLines(w, r, start)
+		return
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, bodyReadError(err))
+		return
+	}
+	var req queryRequest
+	if src := r.URL.Query().Get("query"); src != "" {
+		// Raw-document form: the body is the document, untouched.
+		req = queryRequest{Query: src, Document: body, Mode: r.URL.Query().Get("mode")}
+	} else if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, badRequest("invalid request envelope: "+err.Error()))
+		return
+	}
+	mode, ok := parseMode(req.Mode, "values")
+	if !ok {
+		s.writeError(w, badRequest("mode must be values, offsets, or count"))
+		return
+	}
+	if len(bytes.TrimSpace(req.Document)) == 0 {
+		s.writeError(w, badRequest("missing document"))
+		return
+	}
+	switch {
+	case req.Query != "" && len(req.Queries) > 0:
+		s.writeError(w, badRequest("query and queries are mutually exclusive"))
+	case req.Query != "":
+		s.serveSingle(w, r, &req, mode, start)
+	case len(req.Queries) > 0:
+		s.serveSet(w, r, &req, mode, start)
+	default:
+		s.writeError(w, badRequest("missing query"))
+	}
+}
+
+// requestContext applies the configured per-request deadline on top of the
+// connection's context (which already cancels on client disconnect).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// serveSingle evaluates one query over the request's document, through the
+// document-index cache when it has this document hot.
+func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryRequest, mode string, start time.Time) {
+	q, err := s.compileQuery(req.Query)
+	if err != nil {
+		s.writeError(w, badQuery(err))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	doc := []byte(req.Document)
+	docState := "off"
+	var idx *rsonpath.IndexedDocument
+	if s.docs.enabled() {
+		var built bool
+		idx, built = s.docs.lookup(doc)
+		switch {
+		case built:
+			docState = "built"
+			s.met.docBuilds.Add(1)
+		case idx != nil:
+			docState = "hit"
+			s.met.docHits.Add(1)
+		default:
+			docState = "cold"
+		}
+	}
+
+	var offsets []int
+	emit := func(pos int) { offsets = append(offsets, pos) }
+	var oc rsonpath.Outcome
+	if idx != nil {
+		oc, err = q.RunIndexedSupervised(ctx, idx, emit)
+	} else {
+		oc, err = q.RunSupervised(ctx, doc, emit)
+	}
+	s.noteOutcome(w, oc)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	resp := queryResponse{
+		Count:         len(offsets),
+		Engine:        oc.Engine,
+		Attempts:      oc.Attempts,
+		Degraded:      oc.Degraded(),
+		DurationMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		DocumentCache: docState,
+	}
+	if oc.FallbackReason != nil {
+		resp.FallbackReason = oc.FallbackReason.Error()
+	}
+	switch mode {
+	case "offsets":
+		resp.Offsets = offsets
+	case "values":
+		resp.Values, err = extractValues(doc, offsets, false)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// serveSet evaluates a QuerySet over the request's document in one shared
+// pass. Sets run unindexed: the one-pass driver is already the amortization
+// for "many queries, one document".
+func (s *Server) serveSet(w http.ResponseWriter, r *http.Request, req *queryRequest, mode string, start time.Time) {
+	set, err := s.compileSet(req.Queries)
+	if err != nil {
+		s.writeError(w, badQuery(err))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	doc := []byte(req.Document)
+	perQuery := make([][]int, set.Len())
+	oc, err := set.RunSupervised(ctx, doc, func(query, pos int) {
+		perQuery[query] = append(perQuery[query], pos)
+	})
+	s.noteOutcome(w, oc)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	resp := queryResponse{
+		Engine:     oc.Engine,
+		Attempts:   oc.Attempts,
+		Degraded:   oc.Degraded(),
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Results:    make([]queryResult, set.Len()),
+	}
+	if oc.FallbackReason != nil {
+		resp.FallbackReason = oc.FallbackReason.Error()
+	}
+	for i, offs := range perQuery {
+		res := queryResult{Query: req.Queries[i], Count: len(offs)}
+		resp.Count += len(offs)
+		switch mode {
+		case "offsets":
+			res.Offsets = offs
+		case "values":
+			res.Values, err = extractValues(doc, offs, false)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// linesResponse summarizes an NDJSON batch. Results carries one entry per
+// record with matches; Failures one entry per record that could not be
+// evaluated. Records without matches that evaluated cleanly are counted in
+// no list — the visit contract reports only matched, failed, and degraded
+// records.
+type linesResponse struct {
+	Count           int           `json:"count"`
+	RecordsMatched  int           `json:"records_matched"`
+	RecordsFailed   int           `json:"records_failed"`
+	RecordsDegraded int           `json:"records_degraded"`
+	Results         []lineResult  `json:"results,omitempty"`
+	Failures        []lineFailure `json:"failures,omitempty"`
+	DurationMS      float64       `json:"duration_ms"`
+}
+
+type lineResult struct {
+	Line     int               `json:"line"`
+	Count    int               `json:"count"`
+	Offsets  []int             `json:"offsets,omitempty"`
+	Values   []json.RawMessage `json:"values,omitempty"`
+	Degraded bool              `json:"degraded,omitempty"`
+}
+
+type lineFailure struct {
+	Line  int         `json:"line"`
+	Error errorDetail `json:"error"`
+}
+
+// handleLines evaluates an NDJSON body record-by-record through the
+// parallel worker pool. The query text travels in the "query" URL
+// parameter (the body is the data); mode defaults to "count" — batch
+// callers usually aggregate.
+func (s *Server) handleLines(w http.ResponseWriter, r *http.Request, start time.Time) {
+	src := r.URL.Query().Get("query")
+	if src == "" {
+		s.writeError(w, badRequest("NDJSON requests pass the query in the \"query\" URL parameter"))
+		return
+	}
+	mode, ok := parseMode(r.URL.Query().Get("mode"), "count")
+	if !ok {
+		s.writeError(w, badRequest("mode must be values, offsets, or count"))
+		return
+	}
+	q, err := s.compileLines(src)
+	if err != nil {
+		s.writeError(w, badQuery(err))
+		return
+	}
+
+	resp := linesResponse{}
+	err = q.RunLinesParallel(r.Body, s.cfg.Workers, func(m rsonpath.LineMatch) error {
+		s.met.ndjsonRecs.Add(1)
+		if m.Err != nil {
+			resp.RecordsFailed++
+			resp.Failures = append(resp.Failures, lineFailure{Line: m.Line, Error: detailFor(m.Err)})
+			return nil
+		}
+		if m.Outcome != nil && m.Outcome.Degraded() {
+			resp.RecordsDegraded++
+			s.met.degraded.Add(1)
+		}
+		if len(m.Offsets) == 0 {
+			return nil // degraded-but-empty record: counted above, nothing to report
+		}
+		resp.RecordsMatched++
+		resp.Count += len(m.Offsets)
+		res := lineResult{Line: m.Line, Count: len(m.Offsets),
+			Degraded: m.Outcome != nil && m.Outcome.Degraded()}
+		switch mode {
+		case "offsets":
+			res.Offsets = append([]int(nil), m.Offsets...)
+		case "values":
+			var err error
+			// The record buffer is reused by the pool; values must be copied.
+			res.Values, err = extractValues(m.Record, m.Offsets, true)
+			if err != nil {
+				return err
+			}
+		default:
+			return nil // count mode aggregates only
+		}
+		resp.Results = append(resp.Results, res)
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if resp.RecordsDegraded > 0 {
+		w.Header().Set(degradedHeader, "true")
+	}
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// noteOutcome folds a run's Outcome into the metrics and response headers.
+func (s *Server) noteOutcome(w http.ResponseWriter, oc rsonpath.Outcome) {
+	if oc.Degraded() {
+		s.met.degraded.Add(1)
+		w.Header().Set(degradedHeader, "true")
+	}
+}
+
+// extractValues resolves match offsets to raw value bytes. When copy is
+// set the values are cloned (the source buffer outlives the call only for
+// single-document requests, whose body is request-scoped anyway).
+func extractValues(data []byte, offsets []int, copyValues bool) ([]json.RawMessage, error) {
+	if len(offsets) == 0 {
+		return nil, nil
+	}
+	out := make([]json.RawMessage, 0, len(offsets))
+	for _, pos := range offsets {
+		v, err := rsonpath.ValueAt(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		if copyValues {
+			v = bytes.Clone(v)
+		}
+		out = append(out, json.RawMessage(v))
+	}
+	return out, nil
+}
+
+// parseMode validates the result-shape selector.
+func parseMode(mode, def string) (string, bool) {
+	if mode == "" {
+		return def, true
+	}
+	switch mode {
+	case "values", "offsets", "count":
+		return mode, true
+	}
+	return "", false
+}
+
+// protocolError is a 4xx verdict produced by the server itself (envelope,
+// query text, or transport problems) rather than by a run.
+type protocolError struct {
+	status  int
+	kind    string
+	message string
+}
+
+func (e *protocolError) Error() string { return e.message }
+
+func badRequest(msg string) error {
+	return &protocolError{status: http.StatusBadRequest, kind: "bad_request", message: msg}
+}
+
+// badQuery classifies a compile failure: always the client's query, so 400.
+func badQuery(err error) error {
+	return &protocolError{status: http.StatusBadRequest, kind: "bad_request",
+		message: "invalid query: " + err.Error()}
+}
+
+// bodyReadError distinguishes an oversized body from a transport failure.
+func bodyReadError(err error) error {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return &protocolError{status: http.StatusRequestEntityTooLarge, kind: "limit",
+			message: err.Error()}
+	}
+	return badRequest("reading request body: " + err.Error())
+}
+
+// detailFor maps any error to the JSON error detail, typed errors first.
+func detailFor(err error) errorDetail {
+	var me *rsonpath.MalformedError
+	var le *rsonpath.LimitError
+	var ie *rsonpath.InternalError
+	var pe *protocolError
+	switch {
+	case errors.As(err, &pe):
+		return errorDetail{Kind: pe.kind, Message: pe.message}
+	case errors.As(err, &me):
+		off := me.Offset
+		return errorDetail{Kind: "malformed", Message: err.Error(), Offset: &off}
+	case errors.As(err, &le):
+		off := le.Offset
+		return errorDetail{Kind: "limit", Message: err.Error(), Offset: &off}
+	case errors.Is(err, rsonpath.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return errorDetail{Kind: "timeout", Message: err.Error()}
+	case errors.As(err, &ie):
+		return errorDetail{Kind: "internal", Message: err.Error()}
+	default:
+		return errorDetail{Kind: "internal", Message: err.Error()}
+	}
+}
+
+// writeError maps err to its status code and JSON body, and counts it. The
+// mapping keeps the library's typed vocabulary distinct on the wire:
+// protocol errors 400/413, malformed documents 422, resource limits 413,
+// deadlines 408, internal faults 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	d := detailFor(err)
+	status := http.StatusInternalServerError
+	switch d.Kind {
+	case "bad_request":
+		status = http.StatusBadRequest
+		s.met.errBadReq.Add(1)
+	case "malformed":
+		status = http.StatusUnprocessableEntity
+		s.met.errMalform.Add(1)
+	case "limit":
+		status = http.StatusRequestEntityTooLarge
+		s.met.errLimit.Add(1)
+	case "timeout":
+		status = http.StatusRequestTimeout
+		s.met.errTimeout.Add(1)
+	default:
+		s.met.errIntern.Add(1)
+	}
+	if pe := (*protocolError)(nil); errors.As(err, &pe) {
+		status = pe.status
+	}
+	writeJSON(w, status, &errorBody{Error: d})
+}
+
+// writeJSON marshals v and writes it with status. Marshaling cannot fail
+// for the response shapes above (raw messages are valid JSON by
+// construction); a failure is reported as a bare 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"kind":"internal","message":"response marshal failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

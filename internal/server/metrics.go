@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's counter set, exposition-format compatible with
+// Prometheus text scraping (counters and gauges only, no labels — each
+// series gets its own name so the renderer stays trivial and dependency
+// free). All fields are atomics: handlers on any connection bump them
+// without coordination.
+type metrics struct {
+	requests   atomic.Int64 // requests to /v1/query, any outcome
+	inflight   atomic.Int64 // requests currently being served
+	degraded   atomic.Int64 // requests answered by the fallback engine
+	errBadReq  atomic.Int64 // 4xx protocol/envelope/query errors
+	errMalform atomic.Int64 // malformed-document rejections
+	errLimit   atomic.Int64 // resource-limit rejections
+	errTimeout atomic.Int64 // deadline/cancellation failures
+	errIntern  atomic.Int64 // internal faults that escaped the ladder
+	ndjsonRecs atomic.Int64 // NDJSON records evaluated
+	docHits    atomic.Int64 // document-cache index hits
+	docBuilds  atomic.Int64 // document indexes built
+	durationNs atomic.Int64 // summed /v1/query wall time
+}
+
+// observe records one finished request.
+func (m *metrics) observe(d time.Duration) {
+	m.requests.Add(1)
+	m.durationNs.Add(int64(d))
+}
+
+// render writes the exposition text. The query-cache and doc-cache gauges
+// are passed in by the server, which owns those structures.
+func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges) {
+	p := func(name string, kind string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, kind, name, v)
+	}
+	p("rsonpathd_requests_total", "counter", m.requests.Load())
+	p("rsonpathd_requests_inflight", "gauge", m.inflight.Load())
+	p("rsonpathd_degraded_total", "counter", m.degraded.Load())
+	p("rsonpathd_errors_bad_request_total", "counter", m.errBadReq.Load())
+	p("rsonpathd_errors_malformed_total", "counter", m.errMalform.Load())
+	p("rsonpathd_errors_limit_total", "counter", m.errLimit.Load())
+	p("rsonpathd_errors_timeout_total", "counter", m.errTimeout.Load())
+	p("rsonpathd_errors_internal_total", "counter", m.errIntern.Load())
+	p("rsonpathd_ndjson_records_total", "counter", m.ndjsonRecs.Load())
+	p("rsonpathd_query_cache_hits_total", "counter", cache.hits)
+	p("rsonpathd_query_cache_misses_total", "counter", cache.misses)
+	p("rsonpathd_query_cache_evictions_total", "counter", cache.evictions)
+	p("rsonpathd_query_cache_entries", "gauge", int64(cache.len))
+	p("rsonpathd_doc_cache_hits_total", "counter", m.docHits.Load())
+	p("rsonpathd_doc_cache_builds_total", "counter", m.docBuilds.Load())
+	p("rsonpathd_doc_cache_entries", "gauge", int64(docs.len))
+	fmt.Fprintf(w, "# TYPE rsonpathd_request_duration_seconds_sum counter\nrsonpathd_request_duration_seconds_sum %g\n",
+		time.Duration(m.durationNs.Load()).Seconds())
+	fmt.Fprintf(w, "# TYPE rsonpathd_request_duration_seconds_count counter\nrsonpathd_request_duration_seconds_count %d\n",
+		m.requests.Load())
+}
+
+// cacheGauges and docGauges decouple the renderer from the cache types.
+type cacheGauges struct {
+	hits, misses, evictions int64
+	len                     int
+}
+
+type docGauges struct{ len int }

@@ -1,0 +1,260 @@
+// Package server implements rsonpathd, the JSONPath query daemon: a
+// long-running HTTP/JSON service that keeps compiled queries (and,
+// optionally, classified documents) hot across requests, runs every request
+// under the execution supervisor with a per-request deadline, and reports
+// degradation per request and in aggregate. See DESIGN.md §12 for the
+// architecture.
+//
+// Endpoints:
+//
+//	POST /v1/query   evaluate a query (JSON envelope, or NDJSON body with
+//	                 the query in the "query" URL parameter)
+//	GET  /healthz    liveness probe
+//	GET  /metrics    Prometheus-style exposition text
+//	GET  /version    build identification
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"rsonpath"
+)
+
+// Config is the daemon configuration; the zero value serves with defaults.
+type Config struct {
+	// Addr is the listen address, e.g. ":8077" or "127.0.0.1:0".
+	Addr string
+	// QueryCacheSize bounds the compiled-query LRU; <= 0 selects
+	// rsonpath.DefaultQueryCacheSize.
+	QueryCacheSize int
+	// DocCacheSize bounds the indexed-document LRU; 0 disables document
+	// caching.
+	DocCacheSize int
+	// DocCacheAfter is the number of sightings of the same document bytes
+	// before its mask index is built (default 2: the second request pays the
+	// build, the third and later serve from it).
+	DocCacheAfter int
+	// Timeout is the per-request watchdog deadline (per record for NDJSON
+	// bodies); 0 disables it.
+	Timeout time.Duration
+	// FallbackOff disables the degradation ladder; internal engine faults
+	// then surface as HTTP 500 instead of a degraded 200.
+	FallbackOff bool
+	// RetryMax / RetryBackoff bound re-running a request's streaming
+	// attempts on transient reader errors (rsonpath.WithRetry). In-memory
+	// request bodies have no transient failures, so these matter only if a
+	// future transport streams documents; they are threaded for parity with
+	// the CLI.
+	RetryMax     int
+	RetryBackoff time.Duration
+	// MaxDepth, MaxMatches and MaxDocBytes are the per-run resource limits
+	// (rsonpath.WithMaxDepth and friends); 0 keeps each limit's library
+	// default.
+	MaxDepth    int
+	MaxMatches  int
+	MaxDocBytes int
+	// MaxBodyBytes caps the accepted HTTP request body; <= 0 selects
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Workers is the NDJSON worker-pool width; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Version is reported by /version.
+	Version string
+}
+
+// DefaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// unset: large enough for real documents, small enough that one request
+// cannot balloon the process.
+const DefaultMaxBodyBytes = 64 << 20
+
+// queryRunner is the slice of *rsonpath.Query the handlers need; an
+// interface so the tests can interpose a faulting or degrading runner the
+// same way the library's own fault suite interposes on Query.run.
+type queryRunner interface {
+	RunSupervised(ctx context.Context, data []byte, emit func(pos int)) (rsonpath.Outcome, error)
+	RunIndexedSupervised(ctx context.Context, doc *rsonpath.IndexedDocument, emit func(pos int)) (rsonpath.Outcome, error)
+	RunLinesParallel(r io.Reader, workers int, visit func(m rsonpath.LineMatch) error) error
+}
+
+// setRunner is the QuerySet counterpart.
+type setRunner interface {
+	RunSupervised(ctx context.Context, data []byte, emit func(query, pos int)) (rsonpath.Outcome, error)
+	Len() int
+}
+
+// Server is one daemon instance. Create with New; Serve on a listener or
+// use ListenAndServe; stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *rsonpath.QueryCache
+	docs  *docCache
+	met   metrics
+	http  *http.Server
+	lis   net.Listener
+
+	// compileQuery/compileLines/compileSet produce the runner for a request;
+	// the defaults resolve through the compiled-query cache. Tests replace
+	// them to inject faults and forced degradations.
+	compileQuery func(src string) (queryRunner, error)
+	compileLines func(src string) (queryRunner, error)
+	compileSet   func(queries []string) (setRunner, error)
+}
+
+// New builds a Server from cfg. The compiled-query cache and the document
+// cache live for the Server's lifetime.
+func New(cfg Config) *Server {
+	if cfg.DocCacheAfter == 0 {
+		cfg.DocCacheAfter = 2
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: rsonpath.NewQueryCache(cfg.QueryCacheSize),
+		docs:  newDocCache(cfg.DocCacheSize, cfg.DocCacheAfter),
+	}
+
+	// Two option sets: requests over a buffered document take their deadline
+	// from the request context (so the indexed fast path stays available),
+	// while NDJSON records run inside the worker pool, which supervises each
+	// record with the compiled-in watchdog.
+	base := s.baseOptions()
+	lines := base
+	if cfg.Timeout > 0 {
+		lines = append(append([]rsonpath.Option(nil), base...), rsonpath.WithTimeout(cfg.Timeout))
+	}
+	s.compileQuery = func(src string) (queryRunner, error) { return s.cache.Get(src, base...) }
+	s.compileLines = func(src string) (queryRunner, error) { return s.cache.Get(src, lines...) }
+	s.compileSet = func(queries []string) (setRunner, error) { return s.cache.GetSet(queries, base...) }
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	s.http = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// baseOptions translates Config into compile options, deadline excluded.
+func (s *Server) baseOptions() []rsonpath.Option {
+	var opts []rsonpath.Option
+	if s.cfg.MaxDepth != 0 {
+		opts = append(opts, rsonpath.WithMaxDepth(s.cfg.MaxDepth))
+	}
+	if s.cfg.MaxMatches != 0 {
+		opts = append(opts, rsonpath.WithMaxMatches(s.cfg.MaxMatches))
+	}
+	if s.cfg.MaxDocBytes != 0 {
+		opts = append(opts, rsonpath.WithMaxDocBytes(s.cfg.MaxDocBytes))
+	}
+	if s.cfg.FallbackOff {
+		opts = append(opts, rsonpath.WithFallback(rsonpath.FallbackOff))
+	}
+	if s.cfg.RetryMax > 0 {
+		opts = append(opts, rsonpath.WithRetry(s.cfg.RetryMax, s.cfg.RetryBackoff, transientReadError))
+	}
+	return opts
+}
+
+// transientReadError is the retry classifier threaded from Config.RetryMax:
+// plain I/O errors are worth retrying, the library's typed verdicts
+// (malformed input, limits, cancellation) are not.
+func transientReadError(err error) bool {
+	return !errors.Is(err, rsonpath.ErrMalformed) &&
+		!errors.Is(err, rsonpath.ErrLimitExceeded) &&
+		!errors.Is(err, rsonpath.ErrCanceled)
+}
+
+// Handler returns the daemon's HTTP handler, for embedding in a larger mux
+// or in httptest.
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Listen opens the configured address. Separate from Serve so a caller
+// (and the tests) can learn the bound address of ":0" before serving.
+func (s *Server) Listen() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	return nil
+}
+
+// Addr returns the bound listen address; nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve accepts connections on the listener opened by Listen until
+// Shutdown. It returns nil on graceful shutdown.
+func (s *Server) Serve() error {
+	if s.lis == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	err := s.http.Serve(s.lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains the daemon: the listener closes immediately, in-flight
+// requests run to completion, and idle connections are closed. If ctx
+// expires first the remaining connections are closed forcibly, so Shutdown
+// returns within the caller's deadline either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		s.http.Close()
+	}
+	return err
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleMetrics renders the exposition text.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w,
+		cacheGauges{hits: st.Hits, misses: st.Misses, evictions: st.Evictions, len: st.Len},
+		docGauges{len: s.docs.len()})
+}
+
+// handleVersion identifies the build.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	version := s.cfg.Version
+	if version == "" {
+		version = "dev"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"name":"rsonpathd","version":%q,"engine":"rsonpath","go":%q}`+"\n",
+		version, runtime.Version())
+}
