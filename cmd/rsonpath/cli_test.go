@@ -196,3 +196,44 @@ func TestCLITimeoutExpires(t *testing.T) {
 		t.Fatalf("stderr %q does not report the deadline", stderr)
 	}
 }
+
+func TestCLIExplain(t *testing.T) {
+	// The plan goes to stderr so piped stdout stays clean.
+	code, out, stderr := cli(t, `{"a": 1}`, "-explain", "-count", "$..a")
+	if code != exitOK {
+		t.Fatalf("code %d stderr %q", code, stderr)
+	}
+	if out != "1\n" {
+		t.Fatalf("stdout %q", out)
+	}
+	if !strings.Contains(stderr, "rsonpath: plan: strategy=head-skip engine=rsonpath rule=head-skip") {
+		t.Fatalf("stderr %q", stderr)
+	}
+
+	// A pinned engine is reported as a constraint, not a choice.
+	code, _, stderr = cli(t, `{"a": 1}`, "-explain", "-engine", "surfer", "-count", "$..a")
+	if code != exitOK || !strings.Contains(stderr, "rule=forced-engine") {
+		t.Fatalf("code %d stderr %q", code, stderr)
+	}
+
+	// Indexed runs plan per query against the prebuilt index.
+	code, out, stderr = cli(t, `{"a": {"b": 1}}`, "-explain", "-index", "-count",
+		"-e", "$.a.b", "-e", "$..b")
+	if code != exitOK {
+		t.Fatalf("code %d stderr %q", code, stderr)
+	}
+	if out != "0:1\n1:1\n" {
+		t.Fatalf("stdout %q", out)
+	}
+	for _, want := range []string{"rsonpath: plan 0: strategy=indexed", "rsonpath: plan 1: strategy=indexed"} {
+		if !strings.Contains(stderr, want) {
+			t.Fatalf("stderr %q missing %q", stderr, want)
+		}
+	}
+
+	// Without -explain the plan stays silent.
+	code, _, stderr = cli(t, `{"a": 1}`, "-count", "$..a")
+	if code != exitOK || strings.Contains(stderr, "plan") {
+		t.Fatalf("code %d stderr %q", code, stderr)
+	}
+}

@@ -19,6 +19,12 @@
 //	rsonpath -timeout 2s -count '$..id' huge.json    # watchdog deadline
 //	rsonpath -lines -parallel 4 '$.event' log.jsonl  # worker pool
 //	rsonpath -index -e '$..name' -e '$..id' products.json  # classify once, query many
+//	rsonpath -explain -count '$..user.name' tweets.json  # print the execution plan
+//	rsonpath -engine stackless -count '$..a..b' doc.json # pin an engine
+//
+// By default the execution planner picks the strategy per run from the
+// query shape (DESIGN.md §13); -engine pins one, and -explain prints the
+// decision and its rationale to stderr.
 //
 // With -e or -queries the queries are compiled into a QuerySet and the
 // document is scanned once for all of them; every output line is prefixed
@@ -92,7 +98,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		count    = fs.Bool("count", false, "print only the number of matches")
 		offsets  = fs.Bool("offsets", false, "print byte offsets instead of values")
-		engine   = fs.String("engine", "rsonpath", "engine: rsonpath, surfer, ski, or dom")
+		engine   = fs.String("engine", "auto", "engine: auto (planner decides), rsonpath, surfer, ski, stackless, or dom")
+		explain  = fs.Bool("explain", false, "print the chosen execution plan and its rationale per query to stderr")
 		lines    = fs.Bool("lines", false, "treat input as newline-delimited JSON records (bad records are skipped with a warning)")
 		qfile    = fs.String("queries", "", "file with one query per line (# comments); combined after -e queries")
 		maxDepth = fs.Int("max-depth", 0, "document nesting limit (0 = default, negative = unlimited)")
@@ -136,12 +143,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	kind, err := engineKind(*engine)
+	kind, forced, err := engineKind(*engine)
 	if err != nil {
 		fmt.Fprintln(stderr, "rsonpath:", err)
 		return exitUsage
 	}
-	opts := []rsonpath.Option{rsonpath.WithEngine(kind)}
+	var opts []rsonpath.Option
+	if forced {
+		// -engine pins the engine; the planner honors it as a constraint.
+		opts = append(opts, rsonpath.WithEngine(kind))
+	}
 	if *maxDepth != 0 {
 		opts = append(opts, rsonpath.WithMaxDepth(*maxDepth))
 	}
@@ -190,7 +201,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return exitUsage
 		}
 		if *index {
-			if err := runIndexed(queries, opts, in, out, *count, *offsets); err != nil {
+			if err := runIndexed(queries, opts, in, out, stderr, *count, *offsets, *explain); err != nil {
 				if _, bad := err.(*badQueryError); bad {
 					fmt.Fprintln(stderr, "rsonpath:", err)
 					return exitUsage
@@ -204,6 +215,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "rsonpath:", err)
 			return exitUsage
 		}
+		if *explain {
+			fmt.Fprintln(stderr, "rsonpath: plan:", set.Explain(rsonpath.DocStats{}))
+		}
 		if err := runSet(set, in, out, *count, *offsets); err != nil {
 			return fail(stderr, err)
 		}
@@ -214,6 +228,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "rsonpath:", err)
 		return exitUsage
+	}
+	if *explain {
+		// The cold-run plan: document stats are unknown before the scan.
+		fmt.Fprintln(stderr, "rsonpath: plan:", q.Explain(rsonpath.DocStats{}))
 	}
 
 	if *lines {
@@ -410,7 +428,7 @@ func (e *badQueryError) Unwrap() error { return e.err }
 // mask index, and evaluates each query against the index in turn — the
 // repeated-query counterpart of runSet's one shared pass. Output lines carry
 // the query index prefix, like runSet.
-func runIndexed(queries []string, opts []rsonpath.Option, in io.Reader, out *bufio.Writer, count, offsets bool) error {
+func runIndexed(queries []string, opts []rsonpath.Option, in io.Reader, out *bufio.Writer, stderr io.Writer, count, offsets, explain bool) error {
 	data, err := io.ReadAll(in)
 	if err != nil {
 		return err
@@ -423,6 +441,10 @@ func runIndexed(queries []string, opts []rsonpath.Option, in io.Reader, out *buf
 		q, err := rsonpath.Compile(src, opts...)
 		if err != nil {
 			return &badQueryError{fmt.Errorf("query %d (%s): %w", i, src, err)}
+		}
+		if explain {
+			fmt.Fprintf(stderr, "rsonpath: plan %d: %s\n", i,
+				q.Explain(rsonpath.DocStats{Bytes: len(data), Indexed: true}))
 		}
 		switch {
 		case count:
@@ -552,17 +574,24 @@ func runLines(q *rsonpath.Query, in io.Reader, out *bufio.Writer, stderr io.Writ
 	return code
 }
 
-func engineKind(name string) (rsonpath.EngineKind, error) {
+// engineKind resolves the -engine flag. "auto" (the default) leaves the
+// choice to the execution planner; any named engine is a forced constraint
+// (rsonpath.WithEngine).
+func engineKind(name string) (kind rsonpath.EngineKind, forced bool, err error) {
 	switch name {
+	case "auto":
+		return rsonpath.EngineRsonpath, false, nil
 	case "rsonpath":
-		return rsonpath.EngineRsonpath, nil
+		return rsonpath.EngineRsonpath, true, nil
 	case "surfer":
-		return rsonpath.EngineSurfer, nil
+		return rsonpath.EngineSurfer, true, nil
 	case "ski":
-		return rsonpath.EngineSki, nil
+		return rsonpath.EngineSki, true, nil
+	case "stackless":
+		return rsonpath.EngineStackless, true, nil
 	case "dom":
-		return rsonpath.EngineDOM, nil
+		return rsonpath.EngineDOM, true, nil
 	default:
-		return 0, fmt.Errorf("unknown engine %q (want rsonpath, surfer, ski, or dom)", name)
+		return 0, false, fmt.Errorf("unknown engine %q (want auto, rsonpath, surfer, ski, stackless, or dom)", name)
 	}
 }

@@ -56,7 +56,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr       = fs.String("addr", ":8077", "listen address")
 		queryCache = fs.Int("query-cache", 256, "compiled-query LRU capacity")
 		docCache   = fs.Int("doc-cache", 128, "indexed-document LRU capacity (0 = off)")
-		docAfter   = fs.Int("doc-cache-after", 2, "sightings of a document before its index is built")
+		docAfter   = fs.Int("doc-cache-after", 0, "sightings of a document before its index is built (0 = execution planner decides)")
 		timeout    = fs.Duration("timeout", 2*time.Second, "watchdog deadline per request (per record for NDJSON; 0 = none)")
 		fallback   = fs.String("fallback", "on", "degrade to the DOM oracle on internal faults: on or off")
 		retry      = fs.Int("retry", 0, "retries of a request's streaming attempts on transient read errors")

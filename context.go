@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rsonpath/internal/input"
+	"rsonpath/internal/planner"
 )
 
 // Context-aware streaming: RunReaderContext and QuerySet.RunReaderContext
@@ -92,7 +93,7 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 // the context's own error) when ctx is done — even if the underlying reader
 // is blocked. Matches emitted before the cancellation have been delivered.
 func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, emit func(pos int)) error {
-	sr, ok := q.run.(inputRunner)
+	sr, label, ok := q.planInputRunner(planner.DocStats{})
 	if !ok {
 		return ErrStreamingUnsupported
 	}
@@ -111,7 +112,7 @@ func (q *Query) RunReaderContext(ctx context.Context, r io.Reader, emit func(pos
 	if q.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(q.limits.maxDocBytes)
 	}
-	return guardRun(q.kind.String(), func() error {
+	return guardRun(label, func() error {
 		return sr.RunInput(in, q.limits.limitEmit(emit))
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"rsonpath/internal/classifier"
 	"rsonpath/internal/engine"
 	"rsonpath/internal/input"
+	"rsonpath/internal/planner"
 	"rsonpath/internal/supervisor"
 )
 
@@ -73,7 +74,10 @@ func (d *IndexedDocument) Len() int { return len(d.data) }
 // best-effort error positions may differ from Run's; see DESIGN.md §11.
 func (q *Query) RunIndexed(doc *IndexedDocument, emit func(pos int)) error {
 	e, ok := q.run.(*engine.Engine)
-	if !ok || q.sup.timeout > 0 {
+	pl := q.plan(planner.DocStats{Bytes: len(doc.data), Indexed: ok})
+	if !ok || pl.Strategy != planner.StrategyIndexed {
+		// The plan diverted to a scan: no plane surface (baseline engine), or
+		// the watchdog needs the streaming path's cancellation points.
 		return q.Run(doc.data, emit)
 	}
 	if err := q.limits.checkDocBytes(len(doc.data)); err != nil {
@@ -143,7 +147,9 @@ func (q *Query) MatchOffsetsIndexed(doc *IndexedDocument) ([]int, error) {
 // order and error contract as Run on well-formed input. A set compiled
 // WithTimeout falls back to a plain Run (see Query.RunIndexed).
 func (s *QuerySet) RunIndexed(doc *IndexedDocument, emit func(query, pos int)) error {
-	if s.sup.timeout > 0 {
+	if pl := s.plan(planner.DocStats{Bytes: len(doc.data), Indexed: true}); pl.Strategy != planner.StrategyIndexed {
+		// The watchdog needs the streaming path's cancellation points; the
+		// atomic plane-backed run is unavailable.
 		return s.Run(doc.data, emit)
 	}
 	if err := s.limits.checkDocBytes(len(doc.data)); err != nil {

@@ -7,16 +7,20 @@ import (
 	"sync"
 
 	"rsonpath"
+	"rsonpath/internal/planner"
 )
 
 // docCache is the daemon's classify-once-query-many layer: an LRU of
 // rsonpath.IndexedDocument keyed by the SHA-256 of the document bytes. A
-// document seen fewer than `after` times is only counted (building the
-// index costs one classification sweep plus ~9.4% of the document in mask
-// planes, which BENCH_swar.json shows repays itself within ~8 queries —
-// counting first keeps one-shot documents from churning the cache); once a
-// document proves hot the index is built and every later request with the
-// same bytes serves its classification from the planes.
+// document is only counted until the execution planner predicts the index
+// build amortizes (building costs one classification sweep plus ~9.4% of
+// the document in mask planes, which BENCH_swar.json shows repays itself
+// within ~8 queries — counting first keeps one-shot documents from churning
+// the cache); once a document proves hot the index is built and every later
+// request with the same bytes serves its classification from the planes.
+// The promotion decision is the planner's PredictRuns/ShouldIndex pair —
+// the same rule library callers get from Query.Explain — unless the
+// operator pins a fixed sighting threshold (`after` > 0).
 //
 // Content hashing makes the cache safe by construction: a stale entry is
 // impossible because a changed document is a different key. Collisions are
@@ -39,10 +43,12 @@ type docEntry struct {
 
 // newDocCache returns a cache holding at most capacity entries (counting
 // both promoted and still-counting documents). capacity <= 0 disables the
-// cache: lookup always reports a miss and stores nothing.
+// cache: lookup always reports a miss and stores nothing. after <= 0
+// delegates the promotion decision to the planner; a positive value is a
+// fixed sighting threshold.
 func newDocCache(capacity, after int) *docCache {
-	if after < 1 {
-		after = 1
+	if after < 0 {
+		after = 0
 	}
 	return &docCache{
 		capacity: capacity,
@@ -90,13 +96,29 @@ func (c *docCache) lookup(doc []byte) (idx *rsonpath.IndexedDocument, built bool
 	return e.idx, e.idx != nil
 }
 
-// maybePromote builds the index once the sighting threshold is reached. A
-// failed build (input the index screens reject) leaves the entry as a
-// counter pinned below the threshold, so the malformed document is not
-// re-screened on every request; the request itself proceeds un-indexed and
-// gets the engine's own (better-positioned) malformed error.
+// shouldPromote is the promotion decision: the operator's fixed sighting
+// threshold when one was configured, the planner's amortization prediction
+// otherwise (sightings so far → predicted future runs → build when the
+// build is predicted to repay itself).
+func (c *docCache) shouldPromote(e *docEntry) bool {
+	if e.seen < 0 {
+		return false // pinned unpromotable (a failed build)
+	}
+	if c.after > 0 {
+		return e.seen >= c.after
+	}
+	return planner.ShouldIndex(planner.DocStats{
+		ExpectedRuns: planner.PredictRuns(e.seen),
+	})
+}
+
+// maybePromote builds the index once promotion is decided. A failed build
+// (input the index screens reject) leaves the entry as a counter pinned
+// unpromotable, so the malformed document is not re-screened on every
+// request; the request itself proceeds un-indexed and gets the engine's own
+// (better-positioned) malformed error.
 func (c *docCache) maybePromote(e *docEntry, doc []byte) {
-	if e.seen < c.after || e.idx != nil {
+	if e.idx != nil || !c.shouldPromote(e) {
 		return
 	}
 	idx, err := rsonpath.Index(bytes.Clone(doc))

@@ -48,6 +48,11 @@ type queryResponse struct {
 	// DocumentCache reports how the document-index cache served this
 	// request: "hit", "built", "cold", or "off".
 	DocumentCache string `json:"document_cache,omitempty"`
+	// Plan is the execution-plan strategy the planner chose for this
+	// request ("indexed", "head-skip", ...), with the rule that chose it in
+	// PlanRule; see rsonpath.Query.Explain.
+	Plan     string `json:"plan,omitempty"`
+	PlanRule string `json:"plan_rule,omitempty"`
 }
 
 // queryResult is one query's slice of a multi-query response.
@@ -177,10 +182,16 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryR
 		}
 	}
 
+	// One planning decision drives the dispatch, the response's plan field,
+	// and the per-strategy counters — the same Explain a library caller
+	// would consult.
+	pl := q.Explain(rsonpath.DocStats{Bytes: len(doc), Indexed: idx != nil})
+	s.met.notePlan(pl.Strategy)
+
 	var offsets []int
 	emit := func(pos int) { offsets = append(offsets, pos) }
 	var oc rsonpath.Outcome
-	if idx != nil {
+	if idx != nil && pl.Strategy == "indexed" {
 		oc, err = q.RunIndexedSupervised(ctx, idx, emit)
 	} else {
 		oc, err = q.RunSupervised(ctx, doc, emit)
@@ -198,6 +209,8 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryR
 		Degraded:      oc.Degraded(),
 		DurationMS:    float64(time.Since(start)) / float64(time.Millisecond),
 		DocumentCache: docState,
+		Plan:          pl.Strategy,
+		PlanRule:      pl.Rule,
 	}
 	if oc.FallbackReason != nil {
 		resp.FallbackReason = oc.FallbackReason.Error()
@@ -228,6 +241,8 @@ func (s *Server) serveSet(w http.ResponseWriter, r *http.Request, req *queryRequ
 	defer cancel()
 
 	doc := []byte(req.Document)
+	pl := set.Explain(rsonpath.DocStats{Bytes: len(doc)})
+	s.met.notePlan(pl.Strategy)
 	perQuery := make([][]int, set.Len())
 	oc, err := set.RunSupervised(ctx, doc, func(query, pos int) {
 		perQuery[query] = append(perQuery[query], pos)
@@ -244,6 +259,8 @@ func (s *Server) serveSet(w http.ResponseWriter, r *http.Request, req *queryRequ
 		Degraded:   oc.Degraded(),
 		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
 		Results:    make([]queryResult, set.Len()),
+		Plan:       pl.Strategy,
+		PlanRule:   pl.Rule,
 	}
 	if oc.FallbackReason != nil {
 		resp.FallbackReason = oc.FallbackReason.Error()
@@ -314,6 +331,7 @@ func (s *Server) handleLines(w http.ResponseWriter, r *http.Request, start time.
 		s.writeError(w, badQuery(err))
 		return
 	}
+	s.met.notePlan(q.Explain(rsonpath.DocStats{}).Strategy)
 
 	resp := linesResponse{}
 	err = q.RunLinesParallel(r.Body, s.cfg.Workers, func(m rsonpath.LineMatch) error {

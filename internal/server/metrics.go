@@ -3,8 +3,11 @@ package server
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"rsonpath/internal/planner"
 )
 
 // metrics is the daemon's counter set, exposition-format compatible with
@@ -25,6 +28,22 @@ type metrics struct {
 	docHits    atomic.Int64 // document-cache index hits
 	docBuilds  atomic.Int64 // document indexes built
 	durationNs atomic.Int64 // summed /v1/query wall time
+
+	// planRuns counts served runs per execution-plan strategy, indexed like
+	// planner.Strategies; notePlan resolves the strategy name the handlers
+	// see on the public Plan.
+	planRuns [planner.NumStrategies]atomic.Int64
+}
+
+// notePlan counts one served run of the named strategy. Unknown names (a
+// test fake's invented strategy) are dropped rather than miscounted.
+func (m *metrics) notePlan(strategy string) {
+	for i, s := range planner.Strategies {
+		if s.String() == strategy {
+			m.planRuns[i].Add(1)
+			return
+		}
+	}
 }
 
 // observe records one finished request.
@@ -55,6 +74,10 @@ func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges) {
 	p("rsonpathd_doc_cache_hits_total", "counter", m.docHits.Load())
 	p("rsonpathd_doc_cache_builds_total", "counter", m.docBuilds.Load())
 	p("rsonpathd_doc_cache_entries", "gauge", int64(docs.len))
+	for i, s := range planner.Strategies {
+		name := strings.ReplaceAll(s.String(), "-", "_")
+		p("rsonpathd_plan_"+name+"_total", "counter", m.planRuns[i].Load())
+	}
 	fmt.Fprintf(w, "# TYPE rsonpathd_request_duration_seconds_sum counter\nrsonpathd_request_duration_seconds_sum %g\n",
 		time.Duration(m.durationNs.Load()).Seconds())
 	fmt.Fprintf(w, "# TYPE rsonpathd_request_duration_seconds_count counter\nrsonpathd_request_duration_seconds_count %d\n",

@@ -38,8 +38,11 @@ type Config struct {
 	// caching.
 	DocCacheSize int
 	// DocCacheAfter is the number of sightings of the same document bytes
-	// before its mask index is built (default 2: the second request pays the
-	// build, the third and later serve from it).
+	// before its mask index is built. 0 (the default) lets the execution
+	// planner decide: sightings are fed through planner.PredictRuns and the
+	// index is built when planner.ShouldIndex predicts the build amortizes
+	// (with today's constants: on the second sighting). A positive value
+	// overrides the planner with a fixed threshold.
 	DocCacheAfter int
 	// Timeout is the per-request watchdog deadline (per record for NDJSON
 	// bodies); 0 disables it.
@@ -81,11 +84,13 @@ type queryRunner interface {
 	RunSupervised(ctx context.Context, data []byte, emit func(pos int)) (rsonpath.Outcome, error)
 	RunIndexedSupervised(ctx context.Context, doc *rsonpath.IndexedDocument, emit func(pos int)) (rsonpath.Outcome, error)
 	RunLinesParallel(r io.Reader, workers int, visit func(m rsonpath.LineMatch) error) error
+	Explain(stats rsonpath.DocStats) rsonpath.Plan
 }
 
 // setRunner is the QuerySet counterpart.
 type setRunner interface {
 	RunSupervised(ctx context.Context, data []byte, emit func(query, pos int)) (rsonpath.Outcome, error)
+	Explain(stats rsonpath.DocStats) rsonpath.Plan
 	Len() int
 }
 
@@ -110,9 +115,6 @@ type Server struct {
 // New builds a Server from cfg. The compiled-query cache and the document
 // cache live for the Server's lifetime.
 func New(cfg Config) *Server {
-	if cfg.DocCacheAfter == 0 {
-		cfg.DocCacheAfter = 2
-	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}

@@ -353,6 +353,10 @@ func (d *degradedRunner) RunLinesParallel(r io.Reader, _ int, visit func(m rsonp
 	return visit(rsonpath.LineMatch{Line: 1, Record: []byte(`{}`), Offsets: d.offsets, Outcome: &oc})
 }
 
+func (d *degradedRunner) Explain(rsonpath.DocStats) rsonpath.Plan {
+	return rsonpath.Plan{Strategy: "standard", Engine: rsonpath.EngineRsonpath, Rule: "test-fake"}
+}
+
 // TestServeDegraded injects a degraded outcome through the compile seam and
 // asserts the request is answered (200), marked, and counted — the serving
 // analogue of the CLI's exit code 6.
@@ -547,6 +551,10 @@ func (sl *slowRunner) RunIndexedSupervised(ctx context.Context, doc *rsonpath.In
 	return sl.RunSupervised(ctx, doc.Bytes(), emit)
 }
 
+func (sl *slowRunner) Explain(rsonpath.DocStats) rsonpath.Plan {
+	return rsonpath.Plan{Strategy: "standard", Engine: rsonpath.EngineRsonpath, Rule: "test-fake"}
+}
+
 func (sl *slowRunner) RunLinesParallel(io.Reader, int, func(m rsonpath.LineMatch) error) error {
 	return nil
 }
@@ -663,5 +671,46 @@ func TestShutdownGoroutineAccounting(t *testing.T) {
 			t.Fatalf("goroutines: %d before, %d after shutdown\n%s", before, now, buf[:n])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServePlanReporting: each response names the execution plan that
+// served it, and /metrics counts served runs per strategy. The document
+// cache's planner-driven promotion (DocCacheAfter = 0) flips the plan from
+// the cold scan to the indexed path on the second sighting.
+func TestServePlanReporting(t *testing.T) {
+	_, url := startServer(t, Config{DocCacheSize: 8})
+	req := queryRequest{Query: "$.a.b", Document: json.RawMessage(`{"a": {"b": 1}}`), Mode: "count"}
+	wantPlans := []struct{ plan, rule string }{
+		{"skip", "child-skipping"},
+		{"indexed", "indexed-available"},
+		{"indexed", "indexed-available"},
+	}
+	for i, want := range wantPlans {
+		status, resp, _, _ := postQuery(t, url, req)
+		if status != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, status)
+		}
+		if resp.Plan != want.plan || resp.PlanRule != want.rule {
+			t.Fatalf("round %d: plan %q rule %q, want %q %q",
+				i, resp.Plan, resp.PlanRule, want.plan, want.rule)
+		}
+	}
+	status, resp, _, _ := postQuery(t, url, queryRequest{
+		Query: "$..name", Document: json.RawMessage(`{"x": {"name": "y"}}`), Mode: "count"})
+	if status != http.StatusOK {
+		t.Fatalf("head-skip round: status %d", status)
+	}
+	if resp.Plan != "head-skip" || resp.PlanRule != "head-skip" {
+		t.Fatalf("head-skip round: plan %q rule %q", resp.Plan, resp.PlanRule)
+	}
+	if n := metricValue(t, url, "rsonpathd_plan_skip_total"); n != 1 {
+		t.Fatalf("plan_skip_total = %d, want 1", n)
+	}
+	if n := metricValue(t, url, "rsonpathd_plan_indexed_total"); n != 2 {
+		t.Fatalf("plan_indexed_total = %d, want 2", n)
+	}
+	if n := metricValue(t, url, "rsonpathd_plan_head_skip_total"); n != 1 {
+		t.Fatalf("plan_head_skip_total = %d, want 1", n)
 	}
 }

@@ -1,0 +1,327 @@
+package rsonpath
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Tests for the execution-plan layer (DESIGN.md §13): the differential
+// suite pinning planner-auto results to every forced engine over the
+// compliance corpus, the Explain stability contract, the cache-key
+// regression, and the RunPlanned entry point.
+
+// autoVariants compiles the same query under every planner-auto
+// configuration whose dispatch can diverge: plain auto, auto with head-skip
+// disabled (flips descendant chains to the stackless alternate), and
+// planner off.
+var autoVariants = []struct {
+	name string
+	opts []Option
+}{
+	{"auto", nil},
+	{"auto-noheadskip", []Option{WithOptimizations(Optimizations{NoHeadSkip: true})}},
+	{"planner-off", []Option{WithPlanner(PlannerOff)}},
+}
+
+// runCorpus is every compliance case, slices included.
+func plannerCorpus() []complianceCase {
+	return append(append([]complianceCase(nil), complianceCases...), sliceComplianceCases...)
+}
+
+// TestPlannerDifferentialRun: planner-auto answers (BytesInput) must be
+// byte-identical to every forced engine on the whole compliance corpus.
+func TestPlannerDifferentialRun(t *testing.T) {
+	for _, c := range plannerCorpus() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, v := range autoVariants {
+				q, err := Compile(c.query, v.opts...)
+				if err != nil {
+					t.Fatalf("[%s] compile: %v", v.name, err)
+				}
+				vals, err := q.MatchValues([]byte(c.doc))
+				if err != nil {
+					t.Fatalf("[%s] run: %v", v.name, err)
+				}
+				got := make([]string, len(vals))
+				for i, b := range vals {
+					got[i] = string(b)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(c.want) {
+					t.Fatalf("[%s] %s on %s:\n  got  %q\n  want %q (plan %v)",
+						v.name, c.query, c.doc, got, c.want, q.Explain(DocStats{}))
+				}
+			}
+			for _, kind := range []EngineKind{EngineRsonpath, EngineSurfer, EngineDOM, EngineSki, EngineStackless} {
+				q, err := Compile(c.query, WithEngine(kind))
+				if err == ErrUnsupportedQuery {
+					continue // restricted fragments (ski, stackless)
+				}
+				if err != nil {
+					t.Fatalf("[%v] compile: %v", kind, err)
+				}
+				if kind == EngineSki && queryNeedsFullWildcard(c) {
+					continue // ski's wildcard skips object fields by design
+				}
+				offs, err := q.MatchOffsets([]byte(c.doc))
+				if err != nil {
+					t.Fatalf("[%v] run: %v", kind, err)
+				}
+				auto := MustCompile(c.query)
+				autoOffs, err := auto.MatchOffsets([]byte(c.doc))
+				if err != nil {
+					t.Fatalf("[auto] run: %v", err)
+				}
+				if fmt.Sprint(autoOffs) != fmt.Sprint(offs) {
+					t.Fatalf("auto %v != forced %v offsets: %v vs %v (plan %v)",
+						auto.Explain(DocStats{Bytes: len(c.doc)}), kind, autoOffs, offs,
+						auto.Explain(DocStats{}))
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerDifferentialRunReader repeats the differential over the
+// streaming path (BufferedInput) with a small window, so every auto variant
+// is exercised through RunReader's planned dispatch too.
+func TestPlannerDifferentialRunReader(t *testing.T) {
+	for _, c := range plannerCorpus() {
+		t.Run(c.name, func(t *testing.T) {
+			ref := MustCompile(c.query, WithEngine(EngineRsonpath), WithPlanner(PlannerOff))
+			var want []int
+			if err := ref.RunReader(strings.NewReader(c.doc), func(pos int) {
+				want = append(want, pos)
+			}); err != nil {
+				t.Fatalf("[ref] run: %v", err)
+			}
+			for _, v := range autoVariants {
+				q, err := Compile(c.query, append([]Option{WithStreamWindow(64)}, v.opts...)...)
+				if err != nil {
+					t.Fatalf("[%s] compile: %v", v.name, err)
+				}
+				var got []int
+				if err := q.RunReader(strings.NewReader(c.doc), func(pos int) {
+					got = append(got, pos)
+				}); err != nil {
+					t.Fatalf("[%s] stream run: %v", v.name, err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("[%s] stream offsets %v, want %v (plan %v)",
+						v.name, got, want, q.Explain(DocStats{Streaming: true}))
+				}
+			}
+		})
+	}
+}
+
+// TestExplainStable pins the Explain contract: deterministic output, the
+// documented strategy/rule vocabulary, and the exact rendering the CLI's
+// -explain flag prints.
+func TestExplainStable(t *testing.T) {
+	cases := []struct {
+		query string
+		opts  []Option
+		stats DocStats
+		want  string // Plan.String() — stable across runs and releases
+	}{
+		{"$..user.name", nil, DocStats{},
+			"strategy=head-skip engine=rsonpath rule=head-skip: leading descendant label: skip straight to each occurrence of the sought label"},
+		{"$.a.b[*]", nil, DocStats{},
+			"strategy=skip engine=rsonpath rule=child-skipping: child/wildcard-only query: ski-style subtree and sibling fast-forwarding"},
+		{"$.a..b.*", nil, DocStats{},
+			"strategy=standard engine=rsonpath rule=depth-stack: general query: depth-stack simulation with the full skipping repertoire"},
+		{"$..a..b", nil, DocStats{DenseMatches: true},
+			"strategy=stackless engine=stackless rule=stackless-dense: sought labels are dense, so head-skip gains nothing; the allocation-free depth-register automaton is faster"},
+		{"$..a..b", []Option{WithOptimizations(Optimizations{NoHeadSkip: true})}, DocStats{},
+			"strategy=stackless engine=stackless rule=stackless-registers: head-skip disabled; the depth-register automaton beats the depth-stack simulation on descendant-only chains"},
+		{"$..a", nil, DocStats{Indexed: true},
+			"strategy=indexed engine=rsonpath rule=indexed-available: classification served from the prebuilt document mask index"},
+		{"$.a.b", nil, DocStats{ExpectedRuns: 8},
+			"strategy=indexed engine=rsonpath rule=index-amortizes: 8 expected runs over the same document repay the one-time index build (break-even ~8)"},
+		{"$..a", nil, DocStats{ExpectedRuns: 100},
+			"strategy=head-skip engine=rsonpath rule=head-skip: leading descendant label: skip straight to each occurrence of the sought label"},
+		{"$..a", []Option{WithEngine(EngineSurfer)}, DocStats{},
+			"strategy=surfer engine=surfer rule=forced-engine: engine forced by WithEngine"},
+		{"$..a", []Option{WithPlanner(PlannerOff)}, DocStats{DenseMatches: true},
+			"strategy=head-skip engine=rsonpath rule=planner-off: planner disabled; running the configured engine"},
+	}
+	for _, c := range cases {
+		q := MustCompile(c.query, c.opts...)
+		first := q.Explain(c.stats)
+		if first.String() != c.want {
+			t.Errorf("Explain(%s, %+v) =\n  %s\nwant\n  %s", c.query, c.stats, first, c.want)
+		}
+		for i := 0; i < 5; i++ {
+			if again := q.Explain(c.stats); again != first {
+				t.Fatalf("Explain unstable for %s: %+v then %+v", c.query, first, again)
+			}
+		}
+	}
+}
+
+// TestExplainWatchdog: WithTimeout makes the plane-backed path unavailable
+// and Explain says so.
+func TestExplainWatchdog(t *testing.T) {
+	q := MustCompile("$..a", WithTimeout(1e9))
+	p := q.Explain(DocStats{Indexed: true})
+	if p.Strategy != "head-skip" || p.Rule != "watchdog-streams" {
+		t.Fatalf("watchdog plan = %+v", p)
+	}
+}
+
+// TestStacklessAutoDispatch proves the alternate runner actually executes:
+// a descendant-only chain compiled with head-skip disabled plans stackless
+// and still matches the forced engines bytewise.
+func TestStacklessAutoDispatch(t *testing.T) {
+	doc := []byte(`{"a": {"x": {"b": 1}, "b": {"b": 2}}, "c": {"a": {"b": 3}}}`)
+	auto := MustCompile("$..a..b", WithOptimizations(Optimizations{NoHeadSkip: true}))
+	if p := auto.Explain(DocStats{Bytes: len(doc)}); p.Engine != EngineStackless {
+		t.Fatalf("plan = %+v, want stackless", p)
+	}
+	got, err := auto.MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []EngineKind{EngineStackless, EngineRsonpath, EngineDOM} {
+		want, err := MustCompile("$..a..b", WithEngine(kind)).MatchOffsets(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("auto %v != %v %v", got, kind, want)
+		}
+	}
+}
+
+// TestRunPlanned: the returned plan matches Explain, the matches match Run,
+// and ExpectedRuns past the break-even yields the indexed *advice* while
+// the run still scans (no index is in hand).
+func TestRunPlanned(t *testing.T) {
+	doc := []byte(`{"a": 1, "n": {"a": 2}}`)
+	q := MustCompile("$..a")
+	var offs []int
+	pl, err := q.RunPlanned(doc, DocStats{}, func(pos int) { offs = append(offs, pos) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != "head-skip" {
+		t.Fatalf("plan = %+v", pl)
+	}
+	if fmt.Sprint(offs) != fmt.Sprint([]int{6, 20}) {
+		t.Fatalf("offsets = %v", offs)
+	}
+
+	// A repeat workload on a child query earns the indexed *advice*, while
+	// the run itself still scans (no index is in hand). Head-skip queries
+	// like $..a never get the advice — memmem cannot be served from planes.
+	qc := MustCompile("$.n.a")
+	offs = nil
+	pl, err = qc.RunPlanned(doc, DocStats{ExpectedRuns: 64}, func(pos int) { offs = append(offs, pos) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Strategy != "indexed" || pl.Rule != "index-amortizes" {
+		t.Fatalf("plan = %+v, want indexed advice", pl)
+	}
+	if fmt.Sprint(offs) != fmt.Sprint([]int{20}) {
+		t.Fatalf("advisory plan must still scan; offsets = %v", offs)
+	}
+	// Acting on the advice: build the index, serve from it, same answer.
+	idx, err := Index(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm []int
+	if err := qc.RunIndexed(idx, func(pos int) { warm = append(warm, pos) }); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(warm) != fmt.Sprint(offs) {
+		t.Fatalf("indexed offsets %v != scan %v", warm, offs)
+	}
+}
+
+// TestQueryCachePlannerKey is the collision regression: the same query text
+// under different planner configurations must compile (and cache) as
+// distinct artifacts — a cached plan must not leak across option sets.
+func TestQueryCachePlannerKey(t *testing.T) {
+	cache := NewQueryCache(16)
+	auto, err := cache.Get("$..a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := cache.Get("$..a", WithPlanner(PlannerOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := cache.Get("$..a", WithEngine(EngineRsonpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto == off || auto == forced || off == forced {
+		t.Fatal("planner configurations collided in the cache")
+	}
+	if n := cache.Len(); n != 3 {
+		t.Fatalf("cache holds %d entries, want 3", n)
+	}
+	// Same config twice is still one entry (the key is canonical).
+	again, err := cache.Get("$..a", WithPlanner(PlannerOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != off {
+		t.Fatal("identical options missed the cache")
+	}
+	// The cached artifacts really do plan differently.
+	if auto.Explain(DocStats{ExpectedRuns: 64}).Rule == off.Explain(DocStats{ExpectedRuns: 64}).Rule {
+		t.Fatal("auto and planner-off artifacts plan identically")
+	}
+}
+
+// TestQuerySetExplain: the set's plan layer reports the shared pass's
+// flavor and upgrades to the planes like a single query.
+func TestQuerySetExplain(t *testing.T) {
+	set := MustCompileSet([]string{"$..a", "$..b"})
+	if p := set.Explain(DocStats{}); p.Strategy != "head-skip" || p.Engine != EngineRsonpath {
+		t.Fatalf("set plan = %+v", p)
+	}
+	if p := set.Explain(DocStats{Indexed: true}); p.Strategy != "indexed" {
+		t.Fatalf("set plan with index = %+v", p)
+	}
+	mixed := MustCompileSet([]string{"$..a", "$.b[*]"})
+	if p := mixed.Explain(DocStats{}); p.Strategy != "standard" {
+		t.Fatalf("mixed set plan = %+v", p)
+	}
+}
+
+// TestPipelineValuesSingleExtraction: MatchValues must agree with ValueAt
+// over MatchOffsets — values are extracted during the final stage now, and
+// the two views must stay identical, aliasing included.
+func TestPipelineValuesSingleExtraction(t *testing.T) {
+	doc := []byte(`{"a": [{"b": {"c": 1}}, {"b": [2, {"c": 3}]}], "b": {"c": 0}}`)
+	p := NewPipeline(MustCompile("$.a..b"), MustCompile("$..c"))
+	offs, err := p.MatchOffsets(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := p.MatchValues(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(offs) || len(vals) == 0 {
+		t.Fatalf("got %d values for %d offsets", len(vals), len(offs))
+	}
+	for i, o := range offs {
+		want, err := ValueAt(doc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(vals[i], want) {
+			t.Fatalf("value %d = %q, want %q", i, vals[i], want)
+		}
+		if &vals[i][0] != &doc[o] {
+			t.Fatalf("value %d does not alias the document", i)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rsonpath/internal/dom"
 	"rsonpath/internal/engine"
 	"rsonpath/internal/jsonpath"
+	"rsonpath/internal/planner"
 	"rsonpath/internal/ski"
 	"rsonpath/internal/surfer"
 )
@@ -85,6 +86,8 @@ type Option func(*config)
 
 type config struct {
 	kind      EngineKind
+	kindSet   bool        // WithEngine was given: the engine is a forced planner constraint
+	planner   PlannerMode // WithPlanner; PlannerAuto by default
 	opt       Optimizations
 	semantics Semantics
 	window    int // RunReader window size; 0 = DefaultStreamWindow
@@ -103,9 +106,13 @@ type config struct {
 	retryable    func(error) bool
 }
 
-// WithEngine selects the execution engine.
+// WithEngine pins the execution engine. Under the planner this is a
+// constraint — the plan is forced to the chosen engine — not a separate
+// dispatch path; an accelerated engine in hand of an IndexedDocument still
+// serves from the index (the plane-backed run is the same engine fed from
+// precomputed masks).
 func WithEngine(kind EngineKind) Option {
-	return func(c *config) { c.kind = kind }
+	return func(c *config) { c.kind = kind; c.kindSet = true }
 }
 
 // WithOptimizations overrides the accelerated engine's skipping toggles.
@@ -131,6 +138,17 @@ type Query struct {
 	// oracle is the DOM reference evaluator the supervisor degrades to on
 	// internal faults; nil when the query is already EngineDOM.
 	oracle *domRunner
+
+	// Plan layer (planner_api.go): the planner mode, whether the engine
+	// was forced with WithEngine, the query-shape facts the decision rules
+	// consume, and the compiled alternate runners the planner may dispatch
+	// to. stackless is non-nil only for descendant-only label chains
+	// compiled under PlannerAuto without a forced engine.
+	mode       PlannerMode
+	forced     bool
+	noHeadSkip bool
+	shape      planner.Shape
+	stackless  runner
 }
 
 // Compile parses and compiles a JSONPath expression.
@@ -148,7 +166,9 @@ func Compile(query string, opts ...Option) (*Query, error) {
 	}
 	lim := c.resolveLimits()
 	q := &Query{source: query, parsed: parsed, kind: c.kind, window: c.window,
-		limits: lim, sup: c.resolveSupervision()}
+		limits: lim, sup: c.resolveSupervision(),
+		mode: c.planner, forced: c.kindSet, noHeadSkip: c.opt.NoHeadSkip,
+		shape: shapeOf(parsed)}
 	if c.kind != EngineDOM {
 		q.oracle = &domRunner{query: parsed, semantics: dom.NodeSemantics, maxDepth: lim.maxDepth}
 	}
@@ -199,6 +219,17 @@ func Compile(query string, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Compile the planner's alternate runner: for descendant-only label
+	// chains under PlannerAuto the depth-register automaton is dispatched
+	// when head-skip is out of play (DESIGN.md §13). Compilation is a few
+	// label slices — cheap enough to do eagerly.
+	if c.planner == PlannerAuto && !c.kindSet && c.kind == EngineRsonpath &&
+		q.shape.DescendantChainOnly {
+		if sl, slErr := engine.NewStackless(parsed); slErr == nil {
+			sl.LimitDepth(lim.maxDepth)
+			q.stackless = sl
+		}
+	}
 	return q, nil
 }
 
@@ -221,7 +252,9 @@ func (q *Query) Source() string { return q.source }
 func (q *Query) Engine() EngineKind { return q.kind }
 
 // Run streams the document once, calling emit with the byte offset of the
-// first character of every matched value, in document order.
+// first character of every matched value, in document order. The execution
+// strategy is chosen by the planner (DESIGN.md §13); Explain exposes the
+// decision, WithEngine pins it, WithPlanner(PlannerOff) disables it.
 //
 // Malformed input surfaces as *MalformedError, a configured limit being hit
 // as *LimitError, and an internal fault as *InternalError (never a panic);
@@ -235,8 +268,9 @@ func (q *Query) Run(data []byte, emit func(pos int)) error {
 	if err := q.limits.checkDocBytes(len(data)); err != nil {
 		return err
 	}
-	return guardRun(q.kind.String(), func() error {
-		return q.run.Run(data, q.limits.limitEmit(emit))
+	run, label := q.planRunner(planner.DocStats{Bytes: len(data)})
+	return guardRun(label, func() error {
+		return run.Run(data, q.limits.limitEmit(emit))
 	})
 }
 
@@ -268,8 +302,9 @@ func (q *Query) MatchValues(data []byte) (out [][]byte, err error) {
 	if err := q.limits.checkDocBytes(len(data)); err != nil {
 		return nil, err
 	}
+	run, label := q.planRunner(planner.DocStats{Bytes: len(data)})
 	var extractErr error
-	runErr := guardRun(q.kind.String(), func() error {
+	runErr := guardRun(label, func() error {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopRun); !ok {
@@ -277,7 +312,7 @@ func (q *Query) MatchValues(data []byte) (out [][]byte, err error) {
 				}
 			}
 		}()
-		return q.run.Run(data, q.limits.limitEmit(func(pos int) {
+		return run.Run(data, q.limits.limitEmit(func(pos int) {
 			v, err := ValueAt(data, pos)
 			if err != nil {
 				extractErr = err

@@ -11,6 +11,7 @@ import (
 
 	"rsonpath/internal/dom"
 	"rsonpath/internal/input"
+	"rsonpath/internal/planner"
 	"rsonpath/internal/supervisor"
 )
 
@@ -154,14 +155,15 @@ func (q *Query) runCtx(ctx context.Context, data []byte, emit func(pos int)) err
 	if err := ctx.Err(); err != nil {
 		return convertErr(err)
 	}
-	sr, ok := q.run.(inputRunner)
+	run, label := q.planRunner(planner.DocStats{Bytes: len(data)})
+	sr, ok := run.(inputRunner)
 	window := q.window
 	if window <= 0 {
 		window = DefaultStreamWindow
 	}
 	if !ok || ctx.Done() == nil || len(data) <= window {
-		return guardRun(q.kind.String(), func() error {
-			return q.run.Run(data, q.limits.limitEmit(emit))
+		return guardRun(label, func() error {
+			return run.Run(data, q.limits.limitEmit(emit))
 		})
 	}
 	cr := newCtxReader(ctx, bytes.NewReader(data))
@@ -171,7 +173,7 @@ func (q *Query) runCtx(ctx context.Context, data []byte, emit func(pos int)) err
 	if q.limits.maxDocBytes > 0 {
 		in.LimitDocBytes(q.limits.maxDocBytes)
 	}
-	return guardRun(q.kind.String(), func() error {
+	return guardRun(label, func() error {
 		return sr.RunInput(in, q.limits.limitEmit(emit))
 	})
 }
@@ -198,7 +200,10 @@ func (q *Query) oracleAttempt(data []byte, buf *[]int) *supervisor.Attempt {
 // (reusing scratch for the buffer).
 func (q *Query) runSupervisedOffsets(ctx context.Context, data []byte, scratch []int) ([]int, Outcome, error) {
 	buf := scratch[:0]
-	primary := supervisor.Attempt{Engine: q.kind.String(), Run: func(actx context.Context) error {
+	// The attempt label mirrors runCtx's own dispatch: Decide is pure, so
+	// planning the same stats twice names the engine that actually runs.
+	_, label := q.planRunner(planner.DocStats{Bytes: len(data)})
+	primary := supervisor.Attempt{Engine: label, Run: func(actx context.Context) error {
 		buf = buf[:0]
 		return q.runCtx(actx, data, func(pos int) { buf = append(buf, pos) })
 	}}
@@ -281,12 +286,12 @@ func (q *Query) readAllForOracle(open func() (io.Reader, error)) ([]byte, error)
 // ladder runs. Engines that cannot stream return ErrStreamingUnsupported;
 // use RunSupervised with the buffered document instead.
 func (q *Query) RunReaderSupervised(ctx context.Context, open func() (io.Reader, error), emit func(pos int)) (Outcome, error) {
-	sr, ok := q.run.(inputRunner)
+	sr, label, ok := q.planInputRunner(planner.DocStats{})
 	if !ok {
 		return Outcome{Engine: q.kind.String()}, ErrStreamingUnsupported
 	}
 	var buf []int
-	primary := supervisor.Attempt{Engine: q.kind.String(), Run: func(actx context.Context) error {
+	primary := supervisor.Attempt{Engine: label, Run: func(actx context.Context) error {
 		buf = buf[:0]
 		if err := actx.Err(); err != nil {
 			return convertErr(err)
@@ -303,7 +308,7 @@ func (q *Query) RunReaderSupervised(ctx context.Context, open func() (io.Reader,
 		if q.limits.maxDocBytes > 0 {
 			in.LimitDocBytes(q.limits.maxDocBytes)
 		}
-		return guardRun(q.kind.String(), func() error {
+		return guardRun(label, func() error {
 			return sr.RunInput(in, q.limits.limitEmit(func(pos int) { buf = append(buf, pos) }))
 		})
 	}}
