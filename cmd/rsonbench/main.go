@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, parallel_lines, swar, serve, planner, table2, table3, semantics, ablation, stackless, or all")
+		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, parallel_lines, swar, serve, planner, overload, table2, table3, semantics, ablation, stackless, or all")
 		scale   = flag.Float64("scale", 1.0, "dataset size factor relative to DESIGN.md defaults")
 		samples = flag.Int("samples", 5, "timed samples per measurement")
 		seed    = flag.Int64("seed", 42, "dataset generation seed")
@@ -63,7 +63,7 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 	w := os.Stdout
 	switch exp {
 	case "all":
-		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "multiquery", "parallel_lines", "swar", "serve", "planner", "grid"} {
+		for _, e := range []string{"table2", "table3", "a", "b", "c", "d", "semantics", "ablation", "stackless", "multiquery", "parallel_lines", "swar", "serve", "planner", "overload", "grid"} {
 			if err := run(h, e, jsonDir); err != nil {
 				return err
 			}
@@ -208,6 +208,20 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 		// The acceptance gate doubles as the CI smoke check: a plan layer
 		// that loses to a forced strategy fails the run.
 		return bench.CheckPlanner(rep)
+
+	case "overload":
+		fmt.Fprintln(w, "== Overload: open-loop arrivals past saturation, admission control ==")
+		rep, err := h.RunOverload()
+		if err != nil {
+			return err
+		}
+		bench.RenderOverload(w, rep)
+		if err := writeJSON(jsonDir, "overload", rep); err != nil {
+			return err
+		}
+		// The acceptance gate doubles as the CI overload smoke: any 5xx,
+		// zero sheds past saturation, or collapsed goodput fails the run.
+		return bench.CheckOverload(rep)
 
 	case "grid":
 		fmt.Fprintln(w, "== Appendix C: full result grid ==")

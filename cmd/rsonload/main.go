@@ -6,10 +6,18 @@
 //
 //	rsonload -url http://127.0.0.1:8077/v1/query -query '$..a' -doc doc.json -n 1000 -c 8
 //
+// By default the load is closed-loop: -c workers each keep one request in
+// flight. With -rate the generator switches to open-loop arrivals at a
+// fixed rate, which is the mode that exercises the daemon's admission
+// control: the load does not politely slow down when the server does, and
+// 429 sheds are an expected, separately-reported outcome rather than a
+// failure.
+//
 // Exit codes mirror the CLI's conventions:
 //
-//	0  run completed, all responses OK and fully supervised
-//	1  transport errors or non-200 responses (or bad invocation)
+//	0  run completed; every non-shed response was OK and fully supervised
+//	1  transport errors or non-200/non-429 responses (or bad invocation);
+//	   also a run the server shed in its entirety
 //	6  run completed but the server reported degraded outcomes
 package main
 
@@ -41,10 +49,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		query    = fs.String("query", "", "JSONPath query to send (required)")
 		mode     = fs.String("mode", "count", "result mode: count, offsets or values")
 		docPath  = fs.String("doc", "", "JSON document file to send ({} if empty)")
-		conc     = fs.Int("c", 4, "concurrent connections")
+		conc     = fs.Int("c", 4, "closed-loop workers; open-loop in-flight bound")
 		requests = fs.Int("n", 0, "total request budget (0 = run for -duration)")
 		duration = fs.Duration("duration", 10*time.Second, "run length when -n is 0")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+		rate     = fs.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed-loop)")
+		ctype    = fs.String("content-type", "", "post -doc verbatim with this Content-Type (e.g. application/x-ndjson), query in URL params")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,14 +75,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		URL:         *url,
-		Query:       *query,
-		Mode:        *mode,
-		Document:    doc,
-		Concurrency: *conc,
-		Requests:    *requests,
-		Duration:    *duration,
-		Timeout:     *timeout,
+		URL:            *url,
+		Query:          *query,
+		Mode:           *mode,
+		Document:       doc,
+		Concurrency:    *conc,
+		Requests:       *requests,
+		Duration:       *duration,
+		Timeout:        *timeout,
+		Rate:           *rate,
+		RawContentType: *ctype,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rsonload:", err)
@@ -84,18 +96,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
 	} else {
-		fmt.Fprintf(stdout, "requests   %d (errors %d, non-200 %d, degraded %d)\n",
-			rep.Requests, rep.Errors, rep.NonOK, rep.Degraded)
-		fmt.Fprintf(stdout, "elapsed    %.2fs  (%.0f req/s)\n", rep.ElapsedSeconds, rep.Throughput)
+		fmt.Fprintf(stdout, "requests   %d (errors %d, non-200 %d, shed %d, degraded %d)\n",
+			rep.Requests, rep.Errors, rep.NonOK, rep.Shed, rep.Degraded)
+		if rep.Dropped > 0 {
+			fmt.Fprintf(stdout, "dropped    %d arrivals past the in-flight bound\n", rep.Dropped)
+		}
+		fmt.Fprintf(stdout, "elapsed    %.2fs  (%.0f req/s", rep.ElapsedSeconds, rep.Throughput)
+		if rep.OfferedRPS > 0 {
+			fmt.Fprintf(stdout, ", offered %.0f, goodput %.0f", rep.OfferedRPS, rep.GoodputRPS)
+		}
+		fmt.Fprintln(stdout, ")")
 		fmt.Fprintf(stdout, "latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 			rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP99MS, rep.LatencyMaxMS)
+		if rep.Shed > 0 {
+			fmt.Fprintf(stdout, "accepted   p50 %.2fms  p99 %.2fms\n",
+				rep.AcceptedP50MS, rep.AcceptedP99MS)
+		}
 		for code, n := range rep.StatusCounts {
 			fmt.Fprintf(stdout, "status %s %d\n", code, n)
 		}
 	}
 
+	// Sheds are the server protecting itself and never a failure on their
+	// own — but a run where nothing at all was accepted means the service
+	// was effectively down for this client, which is.
+	allShed := rep.Shed > 0 && rep.StatusCounts["200"] == 0
 	switch {
-	case rep.Errors > 0 || rep.NonOK > 0:
+	case rep.Errors > 0 || rep.NonOK > 0 || allShed:
 		return 1
 	case rep.Degraded > 0:
 		return 6

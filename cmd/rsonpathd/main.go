@@ -65,6 +65,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxMatch   = fs.Int("max-matches", 0, "abort a run after this many matches (0 = unlimited)")
 		maxBytes   = fs.Int("max-doc-bytes", 0, "largest document accepted by a run, in bytes (0 = unlimited)")
 		maxBody    = fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "largest HTTP request body accepted, in bytes")
+		maxConc    = fs.Int("max-concurrency", 0, "admission gate weight capacity (0 = 8 x GOMAXPROCS)")
+		admitQueue = fs.Int("admission-queue", 0, "admission wait-queue depth (0 = 2 x capacity, negative = no queue)")
+		maxBytes2  = fs.Int64("max-inflight-bytes", 0, "summed payload bytes admitted concurrently (0 = default budget, negative = unlimited)")
+		brownout   = fs.Bool("brownout", true, "step down the degradation ladder under sustained queue pressure")
+		breaker    = fs.Bool("breaker", true, "circuit-break the DOM-oracle fallback when internal faults flood")
+		docBytes   = fs.Int64("doc-cache-bytes", 0, "resident-byte bound on the indexed-document cache (0 = entry-count bound only)")
+		bodyRead   = fs.Duration("body-read-timeout", 30*time.Second, "deadline for reading an admitted request body (0 = none)")
 		parallel   = fs.Int("parallel", 0, "NDJSON worker-pool width (0 = GOMAXPROCS)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		version    = fs.String("version", "dev", "version string reported by /version")
@@ -82,20 +89,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		QueryCacheSize: *queryCache,
-		DocCacheSize:   *docCache,
-		DocCacheAfter:  *docAfter,
-		Timeout:        *timeout,
-		FallbackOff:    *fallback == "off",
-		RetryMax:       *retry,
-		RetryBackoff:   *retryWait,
-		MaxDepth:       *maxDepth,
-		MaxMatches:     *maxMatch,
-		MaxDocBytes:    *maxBytes,
-		MaxBodyBytes:   *maxBody,
-		Workers:        *parallel,
-		Version:        *version,
+		Addr:             *addr,
+		QueryCacheSize:   *queryCache,
+		DocCacheSize:     *docCache,
+		DocCacheAfter:    *docAfter,
+		Timeout:          *timeout,
+		FallbackOff:      *fallback == "off",
+		RetryMax:         *retry,
+		RetryBackoff:     *retryWait,
+		MaxDepth:         *maxDepth,
+		MaxMatches:       *maxMatch,
+		MaxDocBytes:      *maxBytes,
+		MaxBodyBytes:     *maxBody,
+		MaxConcurrency:   *maxConc,
+		AdmissionQueue:   *admitQueue,
+		MaxInflightBytes: *maxBytes2,
+		Brownout:         *brownout,
+		Breaker:          *breaker,
+		DocCacheBytes:    *docBytes,
+		BodyReadTimeout:  *bodyRead,
+		Workers:          *parallel,
+		Version:          *version,
 	})
 	if err := srv.Listen(); err != nil {
 		fmt.Fprintln(stderr, "rsonpathd:", err)

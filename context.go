@@ -88,6 +88,24 @@ func (c *ctxReader) Read(p []byte) (int, error) {
 	}
 }
 
+// RunContext is Run with cancellation: matches are emitted incrementally,
+// during the scan, and the run observes ctx — at entry for documents within
+// one stream window (whose whole run is "within one refill"), at every
+// window boundary for larger ones. Unlike RunSupervised, which buffers
+// matches until the degradation ladder settles, RunContext delivers each
+// match the moment the engine finds it; that makes it the entry point for
+// streamed serving, where output leaves the process before the run ends and
+// a transparent re-run is impossible by construction. A configured
+// WithTimeout applies on top of ctx.
+func (q *Query) RunContext(ctx context.Context, data []byte, emit func(pos int)) error {
+	if q.sup.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.sup.timeout)
+		defer cancel()
+	}
+	return q.runCtx(ctx, data, emit)
+}
+
 // RunReaderContext is RunReader with cancellation: the run observes ctx at
 // every window refill and aborts with an error wrapping ErrCanceled (and
 // the context's own error) when ctx is done — even if the underlying reader

@@ -61,6 +61,14 @@ func (d *IndexedDocument) Bytes() []byte { return d.data }
 // Len returns the document length in bytes.
 func (d *IndexedDocument) Len() int { return len(d.data) }
 
+// Footprint returns the resident memory cost of the index in bytes: the
+// document it aliases plus the six mask planes (one 64-bit word each per
+// 64-byte block, ~9.4% of the document). Cache layers that budget by bytes
+// (rsonpathd's document cache) charge entries by this number.
+func (d *IndexedDocument) Footprint() int {
+	return len(d.data) + 6*8*d.planes.Blocks()
+}
+
 // RunIndexed is Run over a pre-indexed document: matches are identical to
 // Run(doc.Bytes(), emit) on well-formed input, but the classification work
 // is served from the index. The speedup accrues to EngineRsonpath (the

@@ -1,0 +1,187 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the protected path (rsonpathd: the supervisor's
+	// DOM-oracle fallback) is available.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; a bounded number of probe
+	// requests may use the protected path to test whether the fault storm
+	// has passed.
+	BreakerHalfOpen
+	// BreakerOpen: the protected path is disabled; callers fail fast.
+	BreakerOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerConfig tunes the breaker; NewBreaker fills defaults.
+type BreakerConfig struct {
+	// Window is the size of the sliding event window. Default 32.
+	Window int
+	// Threshold is the number of failures within the window that trips the
+	// breaker open. Default 8.
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing. Default
+	// 5s.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many successive probe successes close the
+	// breaker from half-open. Default 3.
+	HalfOpenProbes int
+	// Now is the clock, injectable so the open→half-open transition is
+	// deterministic in tests. nil uses time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a windowed-failure circuit breaker. rsonpathd wraps it around
+// the execution supervisor's DOM-oracle fallback: each degraded outcome (the
+// primary engine faulted and the oracle re-ran the query — roughly double
+// work) is a failure event. Under a fault flood the breaker opens and the
+// daemon compiles requests with the ladder disabled, so internal faults fail
+// fast with 500 instead of doubling load exactly when capacity is scarcest.
+// After Cooldown it half-opens: probe requests get the ladder back, and
+// HalfOpenProbes clean runs in a row close the breaker (one more degraded
+// run re-opens it).
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	events   []bool // ring buffer of recent outcomes; true = failure
+	next     int    // ring write position
+	filled   int    // events recorded, saturating at len(events)
+	fails    int    // failures currently in the window
+	openedAt time.Time
+	probeOK  int // successive half-open probe successes
+	opens    int64
+}
+
+// NewBreaker builds a breaker with defaults for unset fields.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 8
+	}
+	if cfg.Threshold > cfg.Window {
+		cfg.Threshold = cfg.Window
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, events: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether the protected path may be used right now. It also
+// drives the open→half-open transition: the first Allow after the cooldown
+// flips to half-open and admits the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probeOK = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one outcome of the protected path (failure = the fallback
+// had to run). Outcomes observed while the breaker was open (callers that
+// had the path denied) must not be recorded — only real uses count.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if failure {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.reset()
+		}
+	case BreakerClosed:
+		if b.filled == len(b.events) {
+			if b.events[b.next] {
+				b.fails--
+			}
+		} else {
+			b.filled++
+		}
+		b.events[b.next] = failure
+		b.next = (b.next + 1) % len(b.events)
+		if failure {
+			b.fails++
+			if b.fails >= b.cfg.Threshold {
+				b.trip()
+			}
+		}
+	}
+}
+
+// trip opens the breaker (lock held).
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.opens++
+	b.reset()
+}
+
+// reset clears the event window (lock held).
+func (b *Breaker) reset() {
+	for i := range b.events {
+		b.events[i] = false
+	}
+	b.next, b.filled, b.fails, b.probeOK = 0, 0, 0, 0
+}
+
+// State reads the breaker position (driving the open→half-open clock
+// transition the same way Allow does, so metrics don't report a stale
+// "open" after the cooldown elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probeOK = 0
+	}
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

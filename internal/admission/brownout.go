@@ -1,0 +1,127 @@
+package admission
+
+import "sync"
+
+// Brownout levels, in the order the controller steps through them. Each
+// level keeps every effect of the levels before it — the ladder is
+// cumulative, mirroring the supervisor's degradation ladder (DESIGN.md §10):
+// cheapest sacrifice first, correctness never.
+const (
+	// BrownoutOff: normal operation.
+	BrownoutOff = 0
+	// BrownoutNoPromote: stop promoting documents into the index cache.
+	// Index builds are pure-overhead work under pressure (a full
+	// classification sweep to speed up *future* requests); cache hits that
+	// already exist keep serving.
+	BrownoutNoPromote = 1
+	// BrownoutTightDeadlines: halve the per-request watchdog deadline, so
+	// stragglers release their admission slots sooner.
+	BrownoutTightDeadlines = 2
+	// BrownoutShedBulk: shed NDJSON bulk requests with 429 before touching
+	// small point queries — the heaviest work class goes first.
+	BrownoutShedBulk = 3
+	// NumBrownoutLevels is the ladder length.
+	NumBrownoutLevels = 4
+)
+
+// BrownoutConfig tunes the controller. The zero value is filled with the
+// documented defaults by NewBrownout.
+type BrownoutConfig struct {
+	// Alpha is the EWMA smoothing factor applied per observation: ewma =
+	// alpha*sample + (1-alpha)*ewma. Default 1/16 — roughly the last ~16
+	// requests dominate.
+	Alpha float64
+	// StepUp is the smoothed-pressure threshold above which the controller
+	// steps one level down the ladder. Default 0.5.
+	StepUp float64
+	// StepDown is the threshold below which it steps one level back up.
+	// It must sit well under StepUp — the gap is the hysteresis band that
+	// prevents flapping. Default 0.125.
+	StepDown float64
+	// DwellSamples is the minimum number of observations between two
+	// transitions, so one burst cannot ride the ladder to the bottom (nor
+	// one quiet moment straight back up). Default 32.
+	DwellSamples int
+	// MaxLevel caps the ladder; default NumBrownoutLevels-1.
+	MaxLevel int
+}
+
+// Brownout turns a stream of pressure samples into a degradation level.
+// Pressure is the caller's scalar in [0, 1] — rsonpathd reports queue
+// occupancy for admitted requests and 1.0 for shed ones — smoothed by an
+// EWMA so the level tracks sustained load, not instants. Transitions move
+// one level at a time and only after DwellSamples observations at the new
+// state, which together with the StepUp/StepDown gap gives the ladder its
+// hysteresis: the test drives pressure up, watches levels 1→2→3 engage in
+// order, drops pressure, and watches them disengage 3→2→1 with no flap.
+type Brownout struct {
+	mu    sync.Mutex
+	cfg   BrownoutConfig
+	ewma  float64
+	level int
+	dwell int // observations since the last transition
+}
+
+// NewBrownout builds a controller with defaults for unset fields.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 1.0 / 16
+	}
+	if cfg.StepUp <= 0 {
+		cfg.StepUp = 0.5
+	}
+	if cfg.StepDown <= 0 {
+		cfg.StepDown = cfg.StepUp / 4
+	}
+	if cfg.StepDown >= cfg.StepUp {
+		cfg.StepDown = cfg.StepUp / 2
+	}
+	if cfg.DwellSamples <= 0 {
+		cfg.DwellSamples = 32
+	}
+	if cfg.MaxLevel <= 0 || cfg.MaxLevel >= NumBrownoutLevels {
+		cfg.MaxLevel = NumBrownoutLevels - 1
+	}
+	return &Brownout{cfg: cfg}
+}
+
+// Observe feeds one pressure sample in [0, 1] and returns the level in
+// effect after the observation.
+func (b *Brownout) Observe(pressure float64) int {
+	if pressure < 0 {
+		pressure = 0
+	}
+	if pressure > 1 {
+		pressure = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ewma = b.cfg.Alpha*pressure + (1-b.cfg.Alpha)*b.ewma
+	b.dwell++
+	if b.dwell < b.cfg.DwellSamples {
+		return b.level
+	}
+	switch {
+	case b.ewma > b.cfg.StepUp && b.level < b.cfg.MaxLevel:
+		b.level++
+		b.dwell = 0
+	case b.ewma < b.cfg.StepDown && b.level > 0:
+		b.level--
+		b.dwell = 0
+	}
+	return b.level
+}
+
+// Level reads the current ladder position without observing a sample.
+func (b *Brownout) Level() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level
+}
+
+// Pressure reads the current smoothed pressure, for health reporting.
+func (b *Brownout) Pressure() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ewma
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rsonpath/internal/loadgen"
+)
+
+// TestRunOverload smoke-tests the overload experiment at a tiny scale: the
+// saturation probe finds a positive rate, the open-loop points complete,
+// and the acceptance gate passes — past saturation the daemon sheds
+// instead of erroring and goodput does not collapse.
+func TestRunOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an HTTP daemon and runs ~4s of load")
+	}
+	h := tiny()
+	rep, err := h.RunOverload()
+	if err != nil {
+		t.Fatalf("RunOverload: %v", err)
+	}
+	if rep.SaturationRPS <= 0 {
+		t.Fatalf("saturation = %.0f req/s, want > 0", rep.SaturationRPS)
+	}
+	names := make(map[string]bool)
+	for _, p := range rep.Points {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"closed_saturation", "open_1x", "open_4x"} {
+		if !names[want] {
+			t.Errorf("point %q missing from report", want)
+		}
+	}
+	if err := CheckOverload(rep); err != nil {
+		t.Errorf("CheckOverload: %v", err)
+	}
+
+	var out bytes.Buffer
+	RenderOverload(&out, rep)
+	for _, want := range []string{"saturation", "open_4x", "goodput"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("RenderOverload output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCheckOverload pins the gate's failure modes on synthetic reports.
+func TestCheckOverload(t *testing.T) {
+	good := OverloadReport{Points: []OverloadPoint{
+		{Name: "closed_saturation"},
+		{Name: "open_1x", Load: mkLoad(100, 0, 0, 0)},
+		{Name: "open_4x", Load: mkLoad(90, 40, 0, 0)},
+	}}
+	if err := CheckOverload(good); err != nil {
+		t.Errorf("clean report rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		rep  OverloadReport
+	}{
+		{"server errors", OverloadReport{Points: []OverloadPoint{
+			{Name: "open_1x", Load: mkLoad(100, 0, 0, 0)},
+			{Name: "open_4x", Load: mkLoad(90, 40, 0, 3)},
+		}}},
+		{"no sheds past saturation", OverloadReport{Points: []OverloadPoint{
+			{Name: "open_1x", Load: mkLoad(100, 0, 0, 0)},
+			{Name: "open_4x", Load: mkLoad(90, 0, 0, 0)},
+		}}},
+		{"goodput collapse", OverloadReport{Points: []OverloadPoint{
+			{Name: "open_1x", Load: mkLoad(100, 0, 0, 0)},
+			{Name: "open_4x", Load: mkLoad(10, 40, 0, 0)},
+		}}},
+		{"missing overload point", OverloadReport{Points: []OverloadPoint{
+			{Name: "open_1x", Load: mkLoad(100, 0, 0, 0)},
+		}}},
+	}
+	for _, c := range cases {
+		if err := CheckOverload(c.rep); err == nil {
+			t.Errorf("%s: gate passed a bad report", c.name)
+		}
+	}
+}
+
+// mkLoad builds the slice of a loadgen report the gate inspects.
+func mkLoad(goodput float64, shed, errs, nonOK int) loadgen.Report {
+	return loadgen.Report{GoodputRPS: goodput, Shed: shed, Errors: errs, NonOK: nonOK}
+}

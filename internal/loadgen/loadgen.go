@@ -1,6 +1,14 @@
 // Package loadgen drives an rsonpathd instance with concurrent /v1/query
 // requests and reports throughput and latency percentiles. It backs the
-// rsonload command and the rsonbench serve experiment.
+// rsonload command and the rsonbench serve and overload experiments.
+//
+// Two arrival models are supported. The default is closed-loop: Concurrency
+// workers each keep exactly one request in flight, so the offered load
+// adapts to the server's speed — useful for measuring peak throughput but
+// useless for overload, because a slowing server throttles its own load.
+// Setting Rate switches to open-loop: requests arrive on a fixed metronome
+// regardless of how the server is doing, which is what real traffic does
+// and what admission control must be tested against.
 package loadgen
 
 import (
@@ -11,7 +19,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,29 +38,54 @@ type Config struct {
 	Mode string
 	// Document is the JSON document sent in every request body.
 	Document []byte
-	// Concurrency is the number of worker goroutines (default 1).
+	// Concurrency is the number of closed-loop workers (default 1). In
+	// open-loop mode it instead bounds the generator's in-flight requests
+	// (default 256): arrivals past the bound are dropped and reported, so a
+	// stalled server cannot make the generator hoard goroutines.
 	Concurrency int
 	// Requests is the total request budget; 0 means run until Duration (or
-	// ctx) expires.
+	// ctx) expires. In open-loop mode the budget counts arrivals, including
+	// dropped ones.
 	Requests int
 	// Duration bounds the run in wall-clock time when Requests is 0.
 	Duration time.Duration
 	// Timeout is the per-request HTTP client timeout (default 10s).
 	Timeout time.Duration
+	// Rate, when positive, selects open-loop arrivals at this many requests
+	// per second. Zero keeps the closed-loop worker model.
+	Rate float64
+	// RawContentType, when set, posts Document verbatim as the request body
+	// with this Content-Type (the daemon's raw and NDJSON request forms)
+	// and passes Query and Mode as URL parameters instead of wrapping
+	// everything in the JSON envelope.
+	RawContentType string
 }
 
 // Report aggregates one load run.
+//
+// A 429 is the admission controller doing its job, so shed responses are
+// tallied separately from NonOK (which keeps meaning "the server misbehaved
+// or rejected the request itself"). Latency percentiles cover every
+// completed request; the Accepted percentiles cover only 200s, because
+// under overload the interesting number is what admitted requests
+// experienced, not the (fast) rejections averaged in.
 type Report struct {
 	Requests       int            `json:"requests"`
 	Errors         int            `json:"errors"`
 	NonOK          int            `json:"non_ok"`
+	Shed           int            `json:"shed"`
 	Degraded       int            `json:"degraded"`
+	Dropped        int            `json:"dropped_arrivals,omitempty"`
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 	Throughput     float64        `json:"throughput_rps"`
+	OfferedRPS     float64        `json:"offered_rps,omitempty"`
+	GoodputRPS     float64        `json:"goodput_rps"`
 	LatencyP50MS   float64        `json:"latency_p50_ms"`
 	LatencyP90MS   float64        `json:"latency_p90_ms"`
 	LatencyP99MS   float64        `json:"latency_p99_ms"`
 	LatencyMaxMS   float64        `json:"latency_max_ms"`
+	AcceptedP50MS  float64        `json:"accepted_p50_ms"`
+	AcceptedP99MS  float64        `json:"accepted_p99_ms"`
 	StatusCounts   map[string]int `json:"status_counts"`
 }
 
@@ -58,6 +93,56 @@ type Report struct {
 // inspects: enough to notice degraded supervision outcomes.
 type responseProbe struct {
 	Degraded bool `json:"degraded"`
+}
+
+// collector accumulates observations from however many goroutines the
+// arrival model spawns. One mutex is plenty: the critical section is a few
+// integer bumps, and the generator tops out well below contention range.
+type collector struct {
+	mu            sync.Mutex
+	requests      int
+	errors        int
+	nonOK         int
+	shed          int
+	degraded      int
+	dropped       int
+	all, accepted []time.Duration
+	statuses      map[int]int
+}
+
+// record files one completed request. canceled marks a transport error that
+// happened because the run itself ended mid-request — not a server fault,
+// so the observation is discarded.
+func (c *collector) record(canceled bool, status int, degraded bool, d time.Duration, err error) {
+	if err != nil && canceled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	c.all = append(c.all, d)
+	switch {
+	case err != nil:
+		c.errors++
+	case status == http.StatusOK:
+		c.statuses[status]++
+		c.accepted = append(c.accepted, d)
+		if degraded {
+			c.degraded++
+		}
+	case status == http.StatusTooManyRequests:
+		c.statuses[status]++
+		c.shed++
+	default:
+		c.statuses[status]++
+		c.nonOK++
+	}
+}
+
+func (c *collector) drop() {
+	c.mu.Lock()
+	c.dropped++
+	c.mu.Unlock()
 }
 
 // Run executes the configured load against the server and blocks until the
@@ -72,7 +157,11 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		return Report{}, errors.New("loadgen: query required")
 	}
 	if cfg.Concurrency <= 0 {
-		cfg.Concurrency = 1
+		if cfg.Rate > 0 {
+			cfg.Concurrency = 256
+		} else {
+			cfg.Concurrency = 1
+		}
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
@@ -84,24 +173,40 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	if len(doc) == 0 {
 		doc = []byte(`{}`)
 	}
-	if !json.Valid(doc) {
-		return Report{}, errors.New("loadgen: document is not valid JSON")
+	// The payload is identical for every request; build it once. Raw form:
+	// the document IS the body (NDJSON is newline-delimited JSONs, so no
+	// whole-body validity check applies) and query/mode ride in the URL.
+	// Envelope form: the document is embedded verbatim (json.RawMessage
+	// survives Marshal as-is only if already compact, so splice by hand
+	// like the server tests do).
+	target := cfg.URL
+	var payload []byte
+	if cfg.RawContentType != "" {
+		sep := "?"
+		if strings.Contains(target, "?") {
+			sep = "&"
+		}
+		target += sep + "query=" + url.QueryEscape(cfg.Query)
+		if cfg.Mode != "" {
+			target += "&mode=" + url.QueryEscape(cfg.Mode)
+		}
+		payload = doc
+	} else {
+		if !json.Valid(doc) {
+			return Report{}, errors.New("loadgen: document is not valid JSON")
+		}
+		var body bytes.Buffer
+		body.WriteString(`{"query": `)
+		q, _ := json.Marshal(cfg.Query)
+		body.Write(q)
+		if cfg.Mode != "" {
+			fmt.Fprintf(&body, `, "mode": %q`, cfg.Mode)
+		}
+		body.WriteString(`, "document": `)
+		body.Write(doc)
+		body.WriteString(`}`)
+		payload = body.Bytes()
 	}
-
-	// The envelope is identical for every request; build it once. The
-	// document is embedded verbatim (json.RawMessage survives Marshal as-is
-	// only if already compact, so splice by hand like the server tests do).
-	var body bytes.Buffer
-	body.WriteString(`{"query": `)
-	q, _ := json.Marshal(cfg.Query)
-	body.Write(q)
-	if cfg.Mode != "" {
-		fmt.Fprintf(&body, `, "mode": %q`, cfg.Mode)
-	}
-	body.WriteString(`, "document": `)
-	body.Write(doc)
-	body.WriteString(`}`)
-	payload := body.Bytes()
 
 	client := &http.Client{
 		Timeout: cfg.Timeout,
@@ -118,22 +223,64 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		defer cancel()
 	}
 
-	type workerStats struct {
-		requests, errors, nonOK, degraded int
-		latencies                         []time.Duration
-		statuses                          map[int]int
+	ctype := cfg.RawContentType
+	if ctype == "" {
+		ctype = "application/json"
 	}
+	col := &collector{statuses: make(map[int]int)}
+	start := time.Now()
+	var offered int
+	var offerWindow time.Duration
+	if cfg.Rate > 0 {
+		offered, offerWindow = openLoop(ctx, client, cfg, target, ctype, payload, col)
+	} else {
+		closedLoop(ctx, client, cfg, target, ctype, payload, col)
+	}
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Requests:     col.requests,
+		Errors:       col.errors,
+		NonOK:        col.nonOK,
+		Shed:         col.shed,
+		Degraded:     col.degraded,
+		Dropped:      col.dropped,
+		StatusCounts: make(map[string]int),
+	}
+	for code, n := range col.statuses {
+		rep.StatusCounts[fmt.Sprint(code)] += n
+	}
+	rep.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+		rep.GoodputRPS = float64(len(col.accepted)) / elapsed.Seconds()
+	}
+	if offerWindow > 0 {
+		rep.OfferedRPS = float64(offered) / offerWindow.Seconds()
+	}
+	sort.Slice(col.all, func(i, j int) bool { return col.all[i] < col.all[j] })
+	sort.Slice(col.accepted, func(i, j int) bool { return col.accepted[i] < col.accepted[j] })
+	rep.LatencyP50MS = percentileMS(col.all, 0.50)
+	rep.LatencyP90MS = percentileMS(col.all, 0.90)
+	rep.LatencyP99MS = percentileMS(col.all, 0.99)
+	if n := len(col.all); n > 0 {
+		rep.LatencyMaxMS = float64(col.all[n-1]) / float64(time.Millisecond)
+	}
+	rep.AcceptedP50MS = percentileMS(col.accepted, 0.50)
+	rep.AcceptedP99MS = percentileMS(col.accepted, 0.99)
+	return rep, nil
+}
+
+// closedLoop runs Concurrency workers, each with one request in flight.
+func closedLoop(ctx context.Context, client *http.Client, cfg Config, target, ctype string, payload []byte, col *collector) {
 	var (
 		issued atomic.Int64 // tickets taken against cfg.Requests
 		wg     sync.WaitGroup
-		stats  = make([]workerStats, cfg.Concurrency)
 	)
-	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
-		go func(st *workerStats) {
+		go func() {
 			defer wg.Done()
-			st.statuses = make(map[int]int)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -142,71 +289,85 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					return
 				}
 				t0 := time.Now()
-				status, degraded, err := do(ctx, client, cfg.URL, payload)
-				st.requests++
-				st.latencies = append(st.latencies, time.Since(t0))
-				switch {
-				case err != nil:
-					if ctx.Err() != nil {
-						// The run ended mid-request; not a server fault.
-						st.requests--
-						st.latencies = st.latencies[:len(st.latencies)-1]
-						return
-					}
-					st.errors++
-				case status != http.StatusOK:
-					st.nonOK++
-					st.statuses[status]++
-				default:
-					st.statuses[status]++
-					if degraded {
-						st.degraded++
-					}
+				status, degraded, err := do(ctx, client, target, ctype, payload)
+				col.record(ctx.Err() != nil, status, degraded, time.Since(t0), err)
+				if err != nil && ctx.Err() != nil {
+					return
 				}
 			}
-		}(&stats[w])
+		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+}
 
+// openLoop fires arrivals on a fixed schedule: tick k is due at
+// start + k/Rate, and a generator that falls behind (scheduler hiccup)
+// catches up by firing immediately rather than silently lowering the rate.
+// Each arrival gets its own goroutine so a slow response never delays the
+// next arrival — unless the in-flight bound is hit, in which case the
+// arrival is dropped and counted (the client refusing to model infinite
+// patience is itself a datum). Returns the number of arrivals offered and
+// the length of the arrival window (the drain time after the last arrival
+// is excluded, so OfferedRPS reflects the configured rate).
+func openLoop(ctx context.Context, client *http.Client, cfg Config, target, ctype string, payload []byte, col *collector) (offered int, window time.Duration) {
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
 	var (
-		rep       = Report{StatusCounts: make(map[string]int)}
-		latencies []time.Duration
+		inflight atomic.Int64
+		wg       sync.WaitGroup
 	)
-	for i := range stats {
-		st := &stats[i]
-		rep.Requests += st.requests
-		rep.Errors += st.errors
-		rep.NonOK += st.nonOK
-		rep.Degraded += st.degraded
-		latencies = append(latencies, st.latencies...)
-		for code, n := range st.statuses {
-			rep.StatusCounts[fmt.Sprint(code)] += n
+	start := time.Now()
+	next := start
+	for {
+		if ctx.Err() != nil {
+			break
 		}
+		if cfg.Requests > 0 && offered >= cfg.Requests {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		next = next.Add(interval)
+		offered++
+		if inflight.Load() >= int64(cfg.Concurrency) {
+			col.drop()
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			status, degraded, err := do(ctx, client, target, ctype, payload)
+			col.record(ctx.Err() != nil, status, degraded, time.Since(t0), err)
+		}()
 	}
-	rep.ElapsedSeconds = elapsed.Seconds()
-	if elapsed > 0 {
-		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
-	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	rep.LatencyP50MS = percentileMS(latencies, 0.50)
-	rep.LatencyP90MS = percentileMS(latencies, 0.90)
-	rep.LatencyP99MS = percentileMS(latencies, 0.99)
-	if n := len(latencies); n > 0 {
-		rep.LatencyMaxMS = float64(latencies[n-1]) / float64(time.Millisecond)
-	}
-	return rep, nil
+	window = time.Since(start)
+	wg.Wait()
+	return offered, window
 }
 
 // do issues one request and reports the status code and whether the server
 // marked the run degraded. The body is read to EOF so the connection is
 // reusable and truncated responses surface as errors.
-func do(ctx context.Context, client *http.Client, url string, payload []byte) (status int, degraded bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+func do(ctx context.Context, client *http.Client, target, ctype string, payload []byte) (status int, degraded bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(payload))
 	if err != nil {
 		return 0, false, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", ctype)
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, false, err

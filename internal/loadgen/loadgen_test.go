@@ -3,6 +3,8 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -102,6 +104,117 @@ func TestLoadgenDurationMode(t *testing.T) {
 	}
 	if rep.Errors != 0 {
 		t.Errorf("errors = %d, want 0 (cancellation mid-request must not count)", rep.Errors)
+	}
+}
+
+// TestLoadgenOpenLoop drives a live daemon with metronome arrivals and
+// verifies the offered rate is honored and the goodput accounting holds
+// together: every arrival completed as a 200, so goodput equals throughput.
+func TestLoadgenOpenLoop(t *testing.T) {
+	url := startDaemon(t, server.Config{Timeout: 5 * time.Second})
+	rep, err := Run(context.Background(), Config{
+		URL:      url,
+		Query:    "$.a",
+		Mode:     "count",
+		Document: []byte(`{"a": 1}`),
+		Rate:     200,
+		Requests: 60,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests != 60 || rep.Errors != 0 || rep.NonOK != 0 || rep.Shed != 0 || rep.Dropped != 0 {
+		t.Fatalf("unexpected outcome tallies: %+v", rep)
+	}
+	// The schedule is 60 arrivals at 200/s = 300ms; allow generous slack for
+	// a loaded CI host, but catch a generator that ignores the rate.
+	if rep.OfferedRPS < 50 || rep.OfferedRPS > 450 {
+		t.Errorf("offered rate %.0f req/s, want ~200", rep.OfferedRPS)
+	}
+	if rep.GoodputRPS <= 0 || rep.AcceptedP50MS <= 0 {
+		t.Errorf("missing accepted-side stats: %+v", rep)
+	}
+}
+
+// TestLoadgenShedAccounting verifies 429s land in Shed, not NonOK or
+// Errors: shedding is the server behaving, and the exit-code logic in
+// rsonload depends on the distinction.
+func TestLoadgenShedAccounting(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error": {"message": "overload"}}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Query:    "$",
+		Requests: 20,
+		Rate:     500,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Shed != 20 || rep.NonOK != 0 || rep.Errors != 0 {
+		t.Errorf("shed=%d nonOK=%d errors=%d, want 20/0/0", rep.Shed, rep.NonOK, rep.Errors)
+	}
+	if rep.StatusCounts["429"] != 20 {
+		t.Errorf("status counts = %v, want 20 429s", rep.StatusCounts)
+	}
+	if rep.GoodputRPS != 0 || rep.AcceptedP50MS != 0 {
+		t.Errorf("accepted-side stats nonzero with no 200s: %+v", rep)
+	}
+}
+
+// TestLoadgenOpenLoopBoundedInflight pins the generator's in-flight bound:
+// against a server that never answers, arrivals past the bound are dropped
+// rather than accumulating goroutines behind a stalled socket.
+func TestLoadgenOpenLoopBoundedInflight(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the request until the run is over
+	}))
+	defer ts.Close()
+	defer close(release)
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Query:       "$",
+		Requests:    10,
+		Rate:        2000,
+		Concurrency: 1,
+		Timeout:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Dropped < 8 {
+		t.Errorf("dropped = %d, want >= 8 of 10 arrivals with in-flight bound 1", rep.Dropped)
+	}
+	if rep.Requests+rep.Dropped != 10 {
+		t.Errorf("requests %d + dropped %d != 10 arrivals", rep.Requests, rep.Dropped)
+	}
+}
+
+// TestLoadgenRawContentType posts the document verbatim as NDJSON with the
+// query in URL parameters, the shape the overload benchmark relies on.
+func TestLoadgenRawContentType(t *testing.T) {
+	url := startDaemon(t, server.Config{Timeout: 5 * time.Second})
+	rep, err := Run(context.Background(), Config{
+		URL:            url,
+		Query:          "$.a",
+		Mode:           "count",
+		Document:       []byte("{\"a\": 1}\n{\"a\": 2}\n{\"b\": 3}\n"),
+		RawContentType: "application/x-ndjson",
+		Concurrency:    2,
+		Requests:       20,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Requests != 20 || rep.Errors != 0 || rep.NonOK != 0 {
+		t.Errorf("unexpected tallies: %+v", rep)
+	}
+	if rep.StatusCounts["200"] != 20 {
+		t.Errorf("status counts = %v, want 20 200s", rep.StatusCounts)
 	}
 }
 

@@ -22,36 +22,50 @@ import (
 // the same rule library callers get from Query.Explain — unless the
 // operator pins a fixed sighting threshold (`after` > 0).
 //
+// The cache is bounded two ways: by entry count (promoted and counting
+// entries alike — the map and list nodes are the cost being bounded) and by
+// total resident *bytes* of promoted indexes (document copy + mask planes,
+// the IndexedDocument.Footprint). Byte-bounding is what actually protects
+// the process: a 128-entry cache of 100 MB documents is 14 GB resident,
+// which no entry count expresses. Eviction is LRU under both bounds.
+//
 // Content hashing makes the cache safe by construction: a stale entry is
 // impossible because a changed document is a different key. Collisions are
 // cryptographically negligible.
 type docCache struct {
 	mu       sync.Mutex
 	capacity int
+	bytesCap int64
 	after    int
 	entries  map[[sha256.Size]byte]*list.Element // value: *docEntry
 	lru      *list.List
+	resident int64 // summed footprint of promoted entries
+	builds   int64 // indexes built (for metrics)
+	evicted  int64 // entries evicted (for metrics)
 }
 
 // docEntry is one sighted document: a counter until promotion, an index
-// afterwards.
+// afterwards. footprint is nonzero exactly when idx is.
 type docEntry struct {
-	key  [sha256.Size]byte
-	seen int
-	idx  *rsonpath.IndexedDocument
+	key       [sha256.Size]byte
+	seen      int
+	idx       *rsonpath.IndexedDocument
+	footprint int64
 }
 
-// newDocCache returns a cache holding at most capacity entries (counting
-// both promoted and still-counting documents). capacity <= 0 disables the
-// cache: lookup always reports a miss and stores nothing. after <= 0
-// delegates the promotion decision to the planner; a positive value is a
-// fixed sighting threshold.
-func newDocCache(capacity, after int) *docCache {
+// newDocCache returns a cache holding at most capacity entries and
+// bytesCap resident index bytes. capacity <= 0 disables the cache: lookup
+// always reports a miss and stores nothing. bytesCap <= 0 means the byte
+// bound is off (entry count alone bounds the cache). after <= 0 delegates
+// the promotion decision to the planner; a positive value is a fixed
+// sighting threshold.
+func newDocCache(capacity int, bytesCap int64, after int) *docCache {
 	if after < 0 {
 		after = 0
 	}
 	return &docCache{
 		capacity: capacity,
+		bytesCap: bytesCap,
 		after:    after,
 		entries:  make(map[[sha256.Size]byte]*list.Element),
 		lru:      list.New(),
@@ -63,11 +77,13 @@ func (c *docCache) enabled() bool { return c != nil && c.capacity > 0 }
 // lookup returns the indexed form of doc when the cache holds one, counting
 // the sighting and building the index at the promotion threshold otherwise.
 // built reports that this call performed the build (the caller's metrics
-// distinguish a hit from the build that enables future hits). The build
-// copies doc, so the caller's buffer stays request-scoped; a document the
-// screens reject (malformed) is remembered as never-promotable rather than
-// re-screened each time.
-func (c *docCache) lookup(doc []byte) (idx *rsonpath.IndexedDocument, built bool) {
+// distinguish a hit from the build that enables future hits). promote=false
+// (the brownout ladder's first rung) still serves existing hits and counts
+// sightings but never spends a classification sweep building a new index.
+// The build copies doc, so the caller's buffer stays request-scoped; a
+// document the screens reject (malformed) is remembered as never-promotable
+// rather than re-screened each time.
+func (c *docCache) lookup(doc []byte, promote bool) (idx *rsonpath.IndexedDocument, built bool) {
 	if !c.enabled() {
 		return nil, false
 	}
@@ -78,12 +94,10 @@ func (c *docCache) lookup(doc []byte) (idx *rsonpath.IndexedDocument, built bool
 	if !ok {
 		e := &docEntry{key: key, seen: 1}
 		c.entries[key] = c.lru.PushFront(e)
-		if c.lru.Len() > c.capacity {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*docEntry).key)
+		if promote {
+			c.maybePromote(e, doc)
 		}
-		c.maybePromote(e, doc)
+		c.evictOver()
 		return e.idx, e.idx != nil
 	}
 	c.lru.MoveToFront(el)
@@ -92,7 +106,10 @@ func (c *docCache) lookup(doc []byte) (idx *rsonpath.IndexedDocument, built bool
 		return e.idx, false
 	}
 	e.seen++
-	c.maybePromote(e, doc)
+	if promote {
+		c.maybePromote(e, doc)
+	}
+	c.evictOver()
 	return e.idx, e.idx != nil
 }
 
@@ -127,6 +144,27 @@ func (c *docCache) maybePromote(e *docEntry, doc []byte) {
 		return
 	}
 	e.idx = idx
+	e.footprint = int64(idx.Footprint())
+	c.resident += e.footprint
+	c.builds++
+}
+
+// evictOver drops LRU entries until both bounds hold (lock held). An index
+// whose footprint alone exceeds the byte budget ends up evicted the moment
+// the next entry arrives — the budget is a hard bound on resident bytes,
+// not a per-entry suggestion.
+func (c *docCache) evictOver() {
+	for c.lru.Len() > c.capacity || (c.bytesCap > 0 && c.resident > c.bytesCap) {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			return
+		}
+		e := oldest.Value.(*docEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, e.key)
+		c.resident -= e.footprint
+		c.evicted++
+	}
 }
 
 // len returns the current entry count.
@@ -137,4 +175,15 @@ func (c *docCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// stats returns the resident byte total and lifetime build/eviction
+// counters for /metrics.
+func (c *docCache) stats() (resident int64, builds, evicted int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident, c.builds, c.evicted
 }

@@ -8,18 +8,18 @@ import (
 // TestDocCachePromotion verifies the sighting threshold: no index on the
 // first lookups, a build at the threshold, hits after.
 func TestDocCachePromotion(t *testing.T) {
-	c := newDocCache(4, 3)
+	c := newDocCache(4, 0, 3)
 	doc := []byte(`{"a": 1}`)
 	for i := 1; i <= 2; i++ {
-		if idx, built := c.lookup(doc); idx != nil || built {
+		if idx, built := c.lookup(doc, true); idx != nil || built {
 			t.Fatalf("sighting %d: premature index (built=%v)", i, built)
 		}
 	}
-	idx, built := c.lookup(doc)
+	idx, built := c.lookup(doc, true)
 	if idx == nil || !built {
 		t.Fatalf("third sighting: idx=%v built=%v, want build", idx, built)
 	}
-	idx2, built := c.lookup(doc)
+	idx2, built := c.lookup(doc, true)
 	if idx2 != idx || built {
 		t.Fatalf("fourth sighting: want hit of the same index (built=%v)", built)
 	}
@@ -27,9 +27,9 @@ func TestDocCachePromotion(t *testing.T) {
 
 // TestDocCacheContentKeyed verifies different bytes never share an entry.
 func TestDocCacheContentKeyed(t *testing.T) {
-	c := newDocCache(4, 1)
-	a, _ := c.lookup([]byte(`{"a": 1}`))
-	b, _ := c.lookup([]byte(`{"a": 2}`))
+	c := newDocCache(4, 0, 1)
+	a, _ := c.lookup([]byte(`{"a": 1}`), true)
+	b, _ := c.lookup([]byte(`{"a": 2}`), true)
 	if a == nil || b == nil || a == b {
 		t.Fatalf("content collision: %v %v", a, b)
 	}
@@ -37,10 +37,10 @@ func TestDocCacheContentKeyed(t *testing.T) {
 
 // TestDocCacheEviction fills past capacity and verifies LRU discard.
 func TestDocCacheEviction(t *testing.T) {
-	c := newDocCache(2, 1)
+	c := newDocCache(2, 0, 1)
 	docs := [][]byte{[]byte(`{"a": 1}`), []byte(`{"a": 2}`), []byte(`{"a": 3}`)}
 	for _, d := range docs {
-		if idx, _ := c.lookup(d); idx == nil {
+		if idx, _ := c.lookup(d, true); idx == nil {
 			t.Fatalf("threshold-1 lookup did not build for %s", d)
 		}
 	}
@@ -48,8 +48,68 @@ func TestDocCacheEviction(t *testing.T) {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
 	// The first document was evicted: looking it up again rebuilds.
-	if _, built := c.lookup(docs[0]); !built {
+	if _, built := c.lookup(docs[0], true); !built {
 		t.Fatalf("evicted document served without a rebuild")
+	}
+}
+
+// TestDocCacheByteBound verifies the resident-bytes bound: a cache whose
+// entry count would allow many indexes still evicts LRU once the summed
+// footprints exceed the byte budget, and the resident gauge tracks what is
+// actually held.
+func TestDocCacheByteBound(t *testing.T) {
+	// Each doc is ~64 bytes, so each index footprint is ~64 + planes.
+	// Budget two footprints' worth and insert three documents.
+	doc := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"key%d": %q}`, i, make([]byte, 40)))
+	}
+	probe := newDocCache(8, 0, 1)
+	idx, _ := probe.lookup(doc(0), true)
+	if idx == nil {
+		t.Fatal("probe build failed")
+	}
+	foot := int64(idx.Footprint())
+
+	c := newDocCache(8, 2*foot, 1)
+	for i := 0; i < 3; i++ {
+		if got, _ := c.lookup(doc(i), true); got == nil {
+			t.Fatalf("doc %d did not build", i)
+		}
+	}
+	resident, builds, evicted := c.stats()
+	if resident > 2*foot {
+		t.Fatalf("resident %d exceeds budget %d", resident, 2*foot)
+	}
+	if builds != 3 || evicted < 1 {
+		t.Fatalf("builds=%d evicted=%d, want 3 builds and >=1 eviction", builds, evicted)
+	}
+	// The evicted (oldest) document rebuilds; the newest is still a hit.
+	if _, built := c.lookup(doc(0), true); !built {
+		t.Fatal("byte-evicted document served without a rebuild")
+	}
+	if _, built := c.lookup(doc(2), true); built {
+		t.Fatal("newest document was evicted by the byte bound prematurely")
+	}
+}
+
+// TestDocCacheNoPromote verifies the brownout hook: promote=false serves
+// existing indexes but never spends a build, and sightings still count so
+// promotion resumes once the pressure clears.
+func TestDocCacheNoPromote(t *testing.T) {
+	c := newDocCache(4, 0, 2)
+	doc := []byte(`{"a": 1}`)
+	for i := 0; i < 4; i++ {
+		if idx, built := c.lookup(doc, false); idx != nil || built {
+			t.Fatalf("lookup %d under no-promote built an index", i)
+		}
+	}
+	// Pressure cleared: the accumulated sightings promote immediately.
+	if idx, built := c.lookup(doc, true); idx == nil || !built {
+		t.Fatal("promotion did not resume after no-promote lifted")
+	}
+	// And an existing index keeps serving even under no-promote.
+	if idx, built := c.lookup(doc, false); idx == nil || built {
+		t.Fatal("no-promote refused an existing index")
 	}
 }
 
@@ -57,10 +117,10 @@ func TestDocCacheEviction(t *testing.T) {
 // reject is remembered and not re-screened, and lookups keep reporting a
 // miss so requests run unindexed.
 func TestDocCacheMalformedNotRetried(t *testing.T) {
-	c := newDocCache(4, 1)
+	c := newDocCache(4, 0, 1)
 	bad := []byte(`{"a": [1, 2}`) // unbalanced: ] missing
 	for i := 0; i < 3; i++ {
-		if idx, built := c.lookup(bad); idx != nil || built {
+		if idx, built := c.lookup(bad, true); idx != nil || built {
 			t.Fatalf("lookup %d: malformed document produced an index", i)
 		}
 	}
@@ -71,9 +131,9 @@ func TestDocCacheMalformedNotRetried(t *testing.T) {
 
 // TestDocCacheDisabled verifies capacity 0 stores nothing.
 func TestDocCacheDisabled(t *testing.T) {
-	c := newDocCache(0, 1)
+	c := newDocCache(0, 0, 1)
 	for i := 0; i < 3; i++ {
-		if idx, built := c.lookup([]byte(`{"a": 1}`)); idx != nil || built {
+		if idx, built := c.lookup([]byte(`{"a": 1}`), true); idx != nil || built {
 			t.Fatalf("disabled cache built an index")
 		}
 	}
@@ -84,14 +144,14 @@ func TestDocCacheDisabled(t *testing.T) {
 
 // TestDocCacheConcurrent exercises the lock under -race.
 func TestDocCacheConcurrent(t *testing.T) {
-	c := newDocCache(8, 2)
+	c := newDocCache(8, 1<<20, 2)
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		go func(g int) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 50; i++ {
 				doc := []byte(fmt.Sprintf(`{"k": %d}`, i%4))
-				c.lookup(doc)
+				c.lookup(doc, true)
 			}
 		}(g)
 	}

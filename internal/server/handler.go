@@ -8,9 +8,11 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rsonpath"
+	"rsonpath/internal/admission"
 )
 
 // queryRequest is the JSON envelope of a single-document request. Exactly
@@ -23,6 +25,11 @@ type queryRequest struct {
 	// Mode selects the result shape: "values" (default), "offsets", or
 	// "count".
 	Mode string `json:"mode,omitempty"`
+	// Stream requests an incrementally flushed NDJSON response: one frame
+	// per match, written as the engine finds it, with a "done" summary
+	// trailer. See DESIGN.md §14 — streamed runs trade the degradation
+	// ladder for first-byte latency and bounded response memory.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // queryResponse is the success envelope. Count is always present; Offsets
@@ -64,7 +71,7 @@ type queryResult struct {
 }
 
 // errorBody is the JSON error envelope; Kind is one of "bad_request",
-// "malformed", "limit", "timeout", "internal".
+// "malformed", "limit", "timeout", "overload", "internal".
 type errorBody struct {
 	Error errorDetail `json:"error"`
 }
@@ -79,6 +86,32 @@ type errorDetail struct {
 // balancers and clients can see degradation without parsing the body.
 const degradedHeader = "X-Rsonpathd-Degraded"
 
+// Admission weight scale: a point query over a small body is 1 unit; NDJSON
+// bulk requests weigh bulkClass times as much (they fan out over the worker
+// pool), and every weightSizeUnit bytes of declared body adds another class
+// worth of weight, capped so a single huge request degrades to "runs alone"
+// rather than to an unpayable price (the gate clamps at capacity anyway).
+const (
+	bulkClass      = 4
+	weightSizeUnit = 8 << 20
+	maxSizeFactor  = 8
+)
+
+// requestWeight estimates the admission weight of a request from its class
+// and declared size — the "request class × estimated document cost" of the
+// overload model.
+func requestWeight(bulk bool, bodyBytes int64) int64 {
+	class := int64(1)
+	if bulk {
+		class = bulkClass
+	}
+	factor := 1 + bodyBytes/weightSizeUnit
+	if factor > maxSizeFactor {
+		factor = maxSizeFactor
+	}
+	return class * factor
+}
+
 // handleQuery is POST /v1/query. Three request forms share the endpoint:
 //
 //   - JSON envelope: body {"query": ..., "document": ..., "mode": ...} (or
@@ -91,6 +124,12 @@ const degradedHeader = "X-Rsonpathd-Degraded"
 //   - NDJSON: Content-Type application/x-ndjson, query in the "query" URL
 //     parameter, body is newline-delimited records routed through the
 //     parallel lines worker pool.
+//
+// Every form passes admission before its body is read: the declared size is
+// checked against the body cap (413), the brownout ladder may shed bulk
+// work (429), and the gate either admits, queues briefly, or sheds (429 +
+// Retry-After). The gate holds the request's slot and byte reservation
+// until the response is written.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.inflight.Add(1)
 	start := time.Now()
@@ -99,13 +138,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.met.observe(time.Since(start))
 	}()
 
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil {
 		ct = mt
 	}
-	if ct == "application/x-ndjson" || ct == "application/ndjson" || ct == "application/jsonlines" {
+	bulk := ct == "application/x-ndjson" || ct == "application/ndjson" || ct == "application/jsonlines"
+
+	// Body-size enforcement before any read: a declared length over the cap
+	// is rejected without consuming the upload. Chunked bodies (unknown
+	// length) reserve the worst case and are cut off by MaxBytesReader.
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		s.writeError(w, &protocolError{status: http.StatusRequestEntityTooLarge, kind: "limit",
+			message: "request body of " + strconv.FormatInt(r.ContentLength, 10) +
+				" bytes exceeds the " + strconv.FormatInt(s.cfg.MaxBodyBytes, 10) + "-byte limit"})
+		return
+	}
+	resBytes := r.ContentLength
+	if resBytes < 0 {
+		resBytes = s.cfg.MaxBodyBytes
+	}
+
+	// Brownout's deepest rung sheds NDJSON bulk before touching point
+	// queries: the heaviest work class goes first, and the shed observes
+	// queue occupancy (not 1.0) so draining pressure steps the ladder back
+	// up.
+	level := s.brownoutLevel()
+	if bulk && level >= admission.BrownoutShedBulk {
+		s.met.admShedBrownout.Add(1)
+		s.observePressure(s.occupancy())
+		s.writeError(w, overloadError("overloaded: bulk NDJSON requests are temporarily shed", 1+level))
+		return
+	}
+
+	// The gate: admitted, briefly queued, or shed — never blocked
+	// unboundedly. Acquire waits on the *connection* context, not the
+	// watchdog deadline: a configured 1 ns query timeout must surface as
+	// 408 from the run, not as a 429 at the door.
+	release, err := s.gate.Acquire(r.Context(), requestWeight(bulk, resBytes), resBytes)
+	if err != nil {
+		s.shed(w, err, level)
+		return
+	}
+	defer release()
+	s.met.admAdmitted.Add(1)
+	s.observePressure(s.occupancy())
+
+	// With a slot held, a slow-loris upload would pin it; bound the body
+	// read. SetReadDeadline is best-effort — transports without deadline
+	// support (httptest's unwrapped recorders) just skip it.
+	if s.cfg.BodyReadTimeout > 0 {
+		rc := http.NewResponseController(w)
+		rc.SetReadDeadline(time.Now().Add(s.cfg.BodyReadTimeout))
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	if bulk {
 		s.handleLines(w, r, start)
 		return
 	}
@@ -118,7 +205,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if src := r.URL.Query().Get("query"); src != "" {
 		// Raw-document form: the body is the document, untouched.
-		req = queryRequest{Query: src, Document: body, Mode: r.URL.Query().Get("mode")}
+		req = queryRequest{Query: src, Document: body, Mode: r.URL.Query().Get("mode"),
+			Stream: streamParam(r)}
 	} else if err := json.Unmarshal(body, &req); err != nil {
 		s.writeError(w, badRequest("invalid request envelope: "+err.Error()))
 		return
@@ -136,27 +224,93 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case req.Query != "" && len(req.Queries) > 0:
 		s.writeError(w, badRequest("query and queries are mutually exclusive"))
 	case req.Query != "":
+		if req.Stream {
+			s.serveSingleStream(w, r, &req, mode, start)
+			return
+		}
 		s.serveSingle(w, r, &req, mode, start)
 	case len(req.Queries) > 0:
+		if req.Stream {
+			s.writeError(w, badRequest("streaming supports a single query"))
+			return
+		}
 		s.serveSet(w, r, &req, mode, start)
 	default:
 		s.writeError(w, badRequest("missing query"))
 	}
 }
 
+// streamParam reads the stream=1/true URL toggle (the envelope form has its
+// own Stream field).
+func streamParam(r *http.Request) bool {
+	v := r.URL.Query().Get("stream")
+	return v == "1" || v == "true"
+}
+
+// shed maps a gate rejection to its response: an absolutely oversized
+// request is the client's fault (413, no point retrying); everything else
+// is load (429 + Retry-After).
+func (s *Server) shed(w http.ResponseWriter, err error, level int) {
+	if errors.Is(err, admission.ErrTooLarge) {
+		s.met.admShedTooBig.Add(1)
+		s.writeError(w, &protocolError{status: http.StatusRequestEntityTooLarge, kind: "limit",
+			message: err.Error()})
+		return
+	}
+	switch {
+	case errors.Is(err, admission.ErrQueueFull):
+		s.met.admShedQueue.Add(1)
+	case errors.Is(err, admission.ErrBytesBudget):
+		s.met.admShedBytes.Add(1)
+	case errors.Is(err, admission.ErrDeadline):
+		s.met.admShedDeadline.Add(1)
+	}
+	s.observePressure(1)
+	s.writeError(w, overloadError(err.Error(), 1+level))
+}
+
 // requestContext applies the configured per-request deadline on top of the
-// connection's context (which already cancels on client disconnect).
+// connection's context (which already cancels on client disconnect). Under
+// brownout level BrownoutTightDeadlines the deadline is halved, so
+// stragglers hand their admission slots back sooner.
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.cfg.Timeout > 0 {
-		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	t := s.cfg.Timeout
+	if t > 0 && s.brownoutLevel() >= admission.BrownoutTightDeadlines {
+		t /= 2
+	}
+	if t > 0 {
+		return context.WithTimeout(r.Context(), t)
 	}
 	return r.Context(), func() {}
+}
+
+// allowFallback consults the circuit breaker; record is non-nil exactly
+// when this request's outcome must be fed back (the path was actually
+// used).
+func (s *Server) allowFallback() (allowed bool) {
+	if s.breaker == nil {
+		return true
+	}
+	return s.breaker.Allow()
+}
+
+// recordFallback feeds one protected-path outcome to the breaker. allowed
+// guards against recording denials: only real uses of the ladder count.
+func (s *Server) recordFallback(allowed bool, degraded bool) {
+	if s.breaker != nil && allowed {
+		s.breaker.Record(degraded)
+	}
 }
 
 // serveSingle evaluates one query over the request's document, through the
 // document-index cache when it has this document hot.
 func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryRequest, mode string, start time.Time) {
-	q, err := s.compileQuery(req.Query)
+	allowFB := s.allowFallback()
+	compile := s.compileQuery
+	if !allowFB {
+		compile = s.compileQueryNF
+	}
+	q, err := compile(req.Query)
 	if err != nil {
 		s.writeError(w, badQuery(err))
 		return
@@ -168,8 +322,11 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryR
 	docState := "off"
 	var idx *rsonpath.IndexedDocument
 	if s.docs.enabled() {
+		// Brownout's first rung stops *new* index builds — pure-overhead
+		// work under pressure — while existing hits keep serving.
+		promote := s.brownoutLevel() < admission.BrownoutNoPromote
 		var built bool
-		idx, built = s.docs.lookup(doc)
+		idx, built = s.docs.lookup(doc, promote)
 		switch {
 		case built:
 			docState = "built"
@@ -196,6 +353,7 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryR
 	} else {
 		oc, err = q.RunSupervised(ctx, doc, emit)
 	}
+	s.recordFallback(allowFB, oc.Degraded())
 	s.noteOutcome(w, oc)
 	if err != nil {
 		s.writeError(w, err)
@@ -232,7 +390,12 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, req *queryR
 // pass. Sets run unindexed: the one-pass driver is already the amortization
 // for "many queries, one document".
 func (s *Server) serveSet(w http.ResponseWriter, r *http.Request, req *queryRequest, mode string, start time.Time) {
-	set, err := s.compileSet(req.Queries)
+	allowFB := s.allowFallback()
+	compile := s.compileSet
+	if !allowFB {
+		compile = s.compileSetNF
+	}
+	set, err := compile(req.Queries)
 	if err != nil {
 		s.writeError(w, badQuery(err))
 		return
@@ -247,6 +410,7 @@ func (s *Server) serveSet(w http.ResponseWriter, r *http.Request, req *queryRequ
 	oc, err := set.RunSupervised(ctx, doc, func(query, pos int) {
 		perQuery[query] = append(perQuery[query], pos)
 	})
+	s.recordFallback(allowFB, oc.Degraded())
 	s.noteOutcome(w, oc)
 	if err != nil {
 		s.writeError(w, err)
@@ -314,7 +478,8 @@ type lineFailure struct {
 // handleLines evaluates an NDJSON body record-by-record through the
 // parallel worker pool. The query text travels in the "query" URL
 // parameter (the body is the data); mode defaults to "count" — batch
-// callers usually aggregate.
+// callers usually aggregate. With stream=1 the per-record results are
+// written incrementally instead of buffered (see stream.go).
 func (s *Server) handleLines(w http.ResponseWriter, r *http.Request, start time.Time) {
 	src := r.URL.Query().Get("query")
 	if src == "" {
@@ -326,12 +491,22 @@ func (s *Server) handleLines(w http.ResponseWriter, r *http.Request, start time.
 		s.writeError(w, badRequest("mode must be values, offsets, or count"))
 		return
 	}
-	q, err := s.compileLines(src)
+	allowFB := s.allowFallback()
+	compile := s.compileLines
+	if !allowFB {
+		compile = s.compileLinesNF
+	}
+	q, err := compile(src)
 	if err != nil {
 		s.writeError(w, badQuery(err))
 		return
 	}
 	s.met.notePlan(q.Explain(rsonpath.DocStats{}).Strategy)
+
+	if streamParam(r) {
+		s.serveLinesStream(w, r, q, allowFB, mode, start)
+		return
+	}
 
 	resp := linesResponse{}
 	err = q.RunLinesParallel(r.Body, s.cfg.Workers, func(m rsonpath.LineMatch) error {
@@ -368,6 +543,7 @@ func (s *Server) handleLines(w http.ResponseWriter, r *http.Request, start time.
 		resp.Results = append(resp.Results, res)
 		return nil
 	})
+	s.recordFallback(allowFB, resp.RecordsDegraded > 0)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -421,17 +597,26 @@ func parseMode(mode, def string) (string, bool) {
 }
 
 // protocolError is a 4xx verdict produced by the server itself (envelope,
-// query text, or transport problems) rather than by a run.
+// query text, transport, or admission problems) rather than by a run.
 type protocolError struct {
-	status  int
-	kind    string
-	message string
+	status     int
+	kind       string
+	message    string
+	retryAfter int // seconds; > 0 emits a Retry-After header
 }
 
 func (e *protocolError) Error() string { return e.message }
 
 func badRequest(msg string) error {
 	return &protocolError{status: http.StatusBadRequest, kind: "bad_request", message: msg}
+}
+
+// overloadError is a load-shedding verdict: try again in retryAfter
+// seconds. The hint grows with the brownout level — the deeper the ladder,
+// the longer the backoff worth suggesting.
+func overloadError(msg string, retryAfter int) error {
+	return &protocolError{status: http.StatusTooManyRequests, kind: "overload",
+		message: msg, retryAfter: retryAfter}
 }
 
 // badQuery classifies a compile failure: always the client's query, so 400.
@@ -456,9 +641,15 @@ func detailFor(err error) errorDetail {
 	var le *rsonpath.LimitError
 	var ie *rsonpath.InternalError
 	var pe *protocolError
+	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &pe):
 		return errorDetail{Kind: pe.kind, Message: pe.message}
+	case errors.As(err, &mbe):
+		// An oversized body surfaced mid-read (the NDJSON path reads the
+		// body inside the engine, so the size verdict arrives as a plain
+		// read error): still a limit, not an internal fault.
+		return errorDetail{Kind: "limit", Message: err.Error()}
 	case errors.As(err, &me):
 		off := me.Offset
 		return errorDetail{Kind: "malformed", Message: err.Error(), Offset: &off}
@@ -476,31 +667,44 @@ func detailFor(err error) errorDetail {
 	}
 }
 
+// countError folds one error kind into the metrics; shared by writeError
+// and the mid-stream error trailer (which cannot change the status line but
+// still must count).
+func (s *Server) countError(kind string) int {
+	switch kind {
+	case "bad_request":
+		s.met.errBadReq.Add(1)
+		return http.StatusBadRequest
+	case "malformed":
+		s.met.errMalform.Add(1)
+		return http.StatusUnprocessableEntity
+	case "limit":
+		s.met.errLimit.Add(1)
+		return http.StatusRequestEntityTooLarge
+	case "timeout":
+		s.met.errTimeout.Add(1)
+		return http.StatusRequestTimeout
+	case "overload":
+		s.met.errOverload.Add(1)
+		return http.StatusTooManyRequests
+	default:
+		s.met.errIntern.Add(1)
+		return http.StatusInternalServerError
+	}
+}
+
 // writeError maps err to its status code and JSON body, and counts it. The
 // mapping keeps the library's typed vocabulary distinct on the wire:
 // protocol errors 400/413, malformed documents 422, resource limits 413,
-// deadlines 408, internal faults 500.
+// deadlines 408, load shedding 429 (with Retry-After), internal faults 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	d := detailFor(err)
-	status := http.StatusInternalServerError
-	switch d.Kind {
-	case "bad_request":
-		status = http.StatusBadRequest
-		s.met.errBadReq.Add(1)
-	case "malformed":
-		status = http.StatusUnprocessableEntity
-		s.met.errMalform.Add(1)
-	case "limit":
-		status = http.StatusRequestEntityTooLarge
-		s.met.errLimit.Add(1)
-	case "timeout":
-		status = http.StatusRequestTimeout
-		s.met.errTimeout.Add(1)
-	default:
-		s.met.errIntern.Add(1)
-	}
+	status := s.countError(d.Kind)
 	if pe := (*protocolError)(nil); errors.As(err, &pe) {
 		status = pe.status
+		if pe.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(pe.retryAfter))
+		}
 	}
 	writeJSON(w, status, &errorBody{Error: d})
 }

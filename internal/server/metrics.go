@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,18 @@ type metrics struct {
 	docHits    atomic.Int64 // document-cache index hits
 	docBuilds  atomic.Int64 // document indexes built
 	durationNs atomic.Int64 // summed /v1/query wall time
+	streamed   atomic.Int64 // responses streamed incrementally
+
+	// Admission-control counters (DESIGN.md §14): every arrival is either
+	// admitted or shed for exactly one of the reasons below. errOverload
+	// counts the 429 responses (sheds that reached the wire).
+	admAdmitted     atomic.Int64
+	admShedQueue    atomic.Int64 // wait queue full
+	admShedDeadline atomic.Int64 // caller deadline expired while queued
+	admShedBytes    atomic.Int64 // in-flight bytes budget exhausted
+	admShedTooBig   atomic.Int64 // larger than the whole bytes budget (413)
+	admShedBrownout atomic.Int64 // brownout ladder shed the request class
+	errOverload     atomic.Int64 // 429s written
 
 	// planRuns counts served runs per execution-plan strategy, indexed like
 	// planner.Strategies; notePlan resolves the strategy name the handlers
@@ -53,8 +66,10 @@ func (m *metrics) observe(d time.Duration) {
 }
 
 // render writes the exposition text. The query-cache and doc-cache gauges
-// are passed in by the server, which owns those structures.
-func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges) {
+// are passed in by the server, which owns those structures, as are the
+// admission-subsystem gauges (gate occupancy, brownout level, breaker
+// state).
+func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges, adm admGauges) {
 	p := func(name string, kind string, v int64) {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, kind, name, v)
 	}
@@ -66,7 +81,9 @@ func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges) {
 	p("rsonpathd_errors_limit_total", "counter", m.errLimit.Load())
 	p("rsonpathd_errors_timeout_total", "counter", m.errTimeout.Load())
 	p("rsonpathd_errors_internal_total", "counter", m.errIntern.Load())
+	p("rsonpathd_errors_overload_total", "counter", m.errOverload.Load())
 	p("rsonpathd_ndjson_records_total", "counter", m.ndjsonRecs.Load())
+	p("rsonpathd_streamed_responses_total", "counter", m.streamed.Load())
 	p("rsonpathd_query_cache_hits_total", "counter", cache.hits)
 	p("rsonpathd_query_cache_misses_total", "counter", cache.misses)
 	p("rsonpathd_query_cache_evictions_total", "counter", cache.evictions)
@@ -74,6 +91,24 @@ func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges) {
 	p("rsonpathd_doc_cache_hits_total", "counter", m.docHits.Load())
 	p("rsonpathd_doc_cache_builds_total", "counter", m.docBuilds.Load())
 	p("rsonpathd_doc_cache_entries", "gauge", int64(docs.len))
+	p("rsonpathd_doc_cache_evictions_total", "counter", docs.evicted)
+	p("rsonpathd_doccache_bytes", "gauge", docs.bytes)
+	p("rsonpathd_admission_admitted_total", "counter", m.admAdmitted.Load())
+	p("rsonpathd_admission_shed_queue_full_total", "counter", m.admShedQueue.Load())
+	p("rsonpathd_admission_shed_deadline_total", "counter", m.admShedDeadline.Load())
+	p("rsonpathd_admission_shed_bytes_total", "counter", m.admShedBytes.Load())
+	p("rsonpathd_admission_shed_too_large_total", "counter", m.admShedTooBig.Load())
+	p("rsonpathd_admission_shed_brownout_total", "counter", m.admShedBrownout.Load())
+	p("rsonpathd_admission_queue_depth", "gauge", int64(adm.queueDepth))
+	p("rsonpathd_admission_queue_capacity", "gauge", int64(adm.queueCap))
+	p("rsonpathd_admission_inflight_weight", "gauge", adm.usedWeight)
+	p("rsonpathd_admission_weight_capacity", "gauge", adm.capWeight)
+	p("rsonpathd_admission_inflight_bytes", "gauge", adm.usedBytes)
+	p("rsonpathd_admission_bytes_budget", "gauge", adm.bytesBudget)
+	p("rsonpathd_brownout_level", "gauge", int64(adm.brownoutLevel))
+	p("rsonpathd_breaker_state", "gauge", int64(adm.breakerState))
+	p("rsonpathd_breaker_opens_total", "counter", adm.breakerOpens)
+	p("rsonpathd_goroutines", "gauge", int64(runtime.NumGoroutine()))
 	for i, s := range planner.Strategies {
 		name := strings.ReplaceAll(s.String(), "-", "_")
 		p("rsonpathd_plan_"+name+"_total", "counter", m.planRuns[i].Load())
@@ -84,10 +119,25 @@ func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges) {
 		m.requests.Load())
 }
 
-// cacheGauges and docGauges decouple the renderer from the cache types.
+// cacheGauges, docGauges and admGauges decouple the renderer from the
+// structures that own the numbers.
 type cacheGauges struct {
 	hits, misses, evictions int64
 	len                     int
 }
 
-type docGauges struct{ len int }
+type docGauges struct {
+	len     int
+	bytes   int64
+	evicted int64
+}
+
+// admGauges is the admission subsystem's point-in-time state.
+type admGauges struct {
+	queueDepth, queueCap   int
+	usedWeight, capWeight  int64
+	usedBytes, bytesBudget int64
+	brownoutLevel          int
+	breakerState           int // 0 closed, 1 half-open, 2 open
+	breakerOpens           int64
+}

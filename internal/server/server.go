@@ -3,13 +3,18 @@
 // optionally, classified documents) hot across requests, runs every request
 // under the execution supervisor with a per-request deadline, and reports
 // degradation per request and in aggregate. See DESIGN.md §12 for the
-// architecture.
+// architecture and §14 for the overload model: every request passes the
+// admission gate (weighted concurrency + in-flight bytes budget) before its
+// body is read, a brownout controller steps down a degradation ladder under
+// sustained pressure, and a circuit breaker fast-fails the supervisor's
+// DOM-oracle fallback during fault storms.
 //
 // Endpoints:
 //
 //	POST /v1/query   evaluate a query (JSON envelope, or NDJSON body with
-//	                 the query in the "query" URL parameter)
-//	GET  /healthz    liveness probe
+//	                 the query in the "query" URL parameter); add stream=1
+//	                 for an incrementally flushed NDJSON response
+//	GET  /healthz    liveness probe with overload report
 //	GET  /metrics    Prometheus-style exposition text
 //	GET  /version    build identification
 package server
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"rsonpath"
+	"rsonpath/internal/admission"
 )
 
 // Config is the daemon configuration; the zero value serves with defaults.
@@ -34,9 +40,14 @@ type Config struct {
 	// QueryCacheSize bounds the compiled-query LRU; <= 0 selects
 	// rsonpath.DefaultQueryCacheSize.
 	QueryCacheSize int
-	// DocCacheSize bounds the indexed-document LRU; 0 disables document
-	// caching.
+	// DocCacheSize bounds the indexed-document LRU by entry count; 0
+	// disables document caching.
 	DocCacheSize int
+	// DocCacheBytes bounds the document cache by total resident bytes of
+	// promoted indexes (document copy + mask planes); <= 0 leaves only the
+	// entry-count bound. Byte-bounding is what actually protects the
+	// process: entry counts say nothing about 100 MB documents.
+	DocCacheBytes int64
 	// DocCacheAfter is the number of sightings of the same document bytes
 	// before its mask index is built. 0 (the default) lets the execution
 	// planner decide: sightings are fed through planner.PredictRuns and the
@@ -45,7 +56,8 @@ type Config struct {
 	// overrides the planner with a fixed threshold.
 	DocCacheAfter int
 	// Timeout is the per-request watchdog deadline (per record for NDJSON
-	// bodies); 0 disables it.
+	// bodies); 0 disables it. Under brownout level BrownoutTightDeadlines
+	// the single-document deadline is halved.
 	Timeout time.Duration
 	// FallbackOff disables the degradation ladder; internal engine faults
 	// then surface as HTTP 500 instead of a degraded 200.
@@ -64,8 +76,38 @@ type Config struct {
 	MaxMatches  int
 	MaxDocBytes int
 	// MaxBodyBytes caps the accepted HTTP request body; <= 0 selects
-	// DefaultMaxBodyBytes.
+	// DefaultMaxBodyBytes. Enforced before any body read: a Content-Length
+	// over the cap is 413 without consuming the upload, and chunked bodies
+	// are cut off at the cap by http.MaxBytesReader.
 	MaxBodyBytes int64
+	// MaxConcurrency is the admission gate's weight capacity — the total
+	// weighted work admitted concurrently (a point query is 1 unit, NDJSON
+	// bulk and large bodies weigh more). <= 0 selects 8 × GOMAXPROCS.
+	MaxConcurrency int
+	// AdmissionQueue bounds the admission wait queue. 0 selects
+	// 2 × MaxConcurrency; negative disables queueing (contended arrivals
+	// are shed immediately).
+	AdmissionQueue int
+	// MaxInflightBytes bounds the summed payload bytes of admitted
+	// requests. 0 selects DefaultMaxInflightBytes; negative means
+	// unlimited. A request over the remaining budget is shed with 429; one
+	// over the whole budget is rejected with 413.
+	MaxInflightBytes int64
+	// Brownout enables the brownout controller (DESIGN.md §14): under
+	// sustained queue pressure the daemon first stops promoting documents
+	// into the index cache, then tightens watchdog deadlines, then sheds
+	// NDJSON bulk before point queries, recovering in reverse with
+	// hysteresis.
+	Brownout bool
+	// Breaker enables the circuit breaker around the supervisor's
+	// DOM-oracle fallback: a flood of internal-fault degradations opens the
+	// breaker and requests compile with the ladder disabled (fail fast)
+	// until a cooldown probe succeeds. Ignored when FallbackOff already
+	// disables the ladder.
+	Breaker bool
+	// BodyReadTimeout bounds reading a request body once admitted, so a
+	// slow-loris client cannot pin an admission slot; 0 disables it.
+	BodyReadTimeout time.Duration
 	// Workers is the NDJSON worker-pool width; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Version is reported by /version.
@@ -77,12 +119,18 @@ type Config struct {
 // cannot balloon the process.
 const DefaultMaxBodyBytes = 64 << 20
 
+// DefaultMaxInflightBytes caps the aggregate payload of admitted requests
+// when Config.MaxInflightBytes is unset. The bytes budget, not the slot
+// count, is what bounds resident memory: 64 slots of 64 MB bodies is 4 GB.
+const DefaultMaxInflightBytes = 512 << 20
+
 // queryRunner is the slice of *rsonpath.Query the handlers need; an
 // interface so the tests can interpose a faulting or degrading runner the
 // same way the library's own fault suite interposes on Query.run.
 type queryRunner interface {
 	RunSupervised(ctx context.Context, data []byte, emit func(pos int)) (rsonpath.Outcome, error)
 	RunIndexedSupervised(ctx context.Context, doc *rsonpath.IndexedDocument, emit func(pos int)) (rsonpath.Outcome, error)
+	RunContext(ctx context.Context, data []byte, emit func(pos int)) error
 	RunLinesParallel(r io.Reader, workers int, visit func(m rsonpath.LineMatch) error) error
 	Explain(stats rsonpath.DocStats) rsonpath.Plan
 }
@@ -97,45 +145,91 @@ type setRunner interface {
 // Server is one daemon instance. Create with New; Serve on a listener or
 // use ListenAndServe; stop with Shutdown.
 type Server struct {
-	cfg   Config
-	cache *rsonpath.QueryCache
-	docs  *docCache
-	met   metrics
-	http  *http.Server
-	lis   net.Listener
+	cfg     Config
+	cache   *rsonpath.QueryCache
+	docs    *docCache
+	met     metrics
+	http    *http.Server
+	lis     net.Listener
+	gate    *admission.Gate
+	brown   *admission.Brownout // nil unless Config.Brownout
+	breaker *admission.Breaker  // nil unless Config.Breaker (and fallback on)
 
 	// compileQuery/compileLines/compileSet produce the runner for a request;
-	// the defaults resolve through the compiled-query cache. Tests replace
-	// them to inject faults and forced degradations.
-	compileQuery func(src string) (queryRunner, error)
-	compileLines func(src string) (queryRunner, error)
-	compileSet   func(queries []string) (setRunner, error)
+	// the defaults resolve through the compiled-query cache. The NF variants
+	// compile the same query with the degradation ladder off — the breaker's
+	// fail-fast path — and are distinct cache entries (the cache keys by
+	// option set). Tests replace them to inject faults and forced
+	// degradations.
+	compileQuery   func(src string) (queryRunner, error)
+	compileLines   func(src string) (queryRunner, error)
+	compileSet     func(queries []string) (setRunner, error)
+	compileQueryNF func(src string) (queryRunner, error)
+	compileLinesNF func(src string) (queryRunner, error)
+	compileSetNF   func(queries []string) (setRunner, error)
 }
 
-// New builds a Server from cfg. The compiled-query cache and the document
-// cache live for the Server's lifetime.
+// New builds a Server from cfg. The compiled-query cache, the document
+// cache, and the admission subsystem live for the Server's lifetime.
 func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 8 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.AdmissionQueue == 0 {
+		cfg.AdmissionQueue = 2 * cfg.MaxConcurrency
+	} else if cfg.AdmissionQueue < 0 {
+		cfg.AdmissionQueue = 0
+	}
+	if cfg.MaxInflightBytes == 0 {
+		cfg.MaxInflightBytes = DefaultMaxInflightBytes
+	} else if cfg.MaxInflightBytes < 0 {
+		cfg.MaxInflightBytes = 0 // unlimited
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: rsonpath.NewQueryCache(cfg.QueryCacheSize),
-		docs:  newDocCache(cfg.DocCacheSize, cfg.DocCacheAfter),
+		docs:  newDocCache(cfg.DocCacheSize, cfg.DocCacheBytes, cfg.DocCacheAfter),
+		gate: admission.NewGate(admission.GateConfig{
+			Capacity:    int64(cfg.MaxConcurrency),
+			QueueDepth:  cfg.AdmissionQueue,
+			BytesBudget: cfg.MaxInflightBytes,
+		}),
+	}
+	if cfg.Brownout {
+		s.brown = admission.NewBrownout(admission.BrownoutConfig{})
+	}
+	if cfg.Breaker && !cfg.FallbackOff {
+		s.breaker = admission.NewBreaker(admission.BreakerConfig{})
 	}
 
 	// Two option sets: requests over a buffered document take their deadline
 	// from the request context (so the indexed fast path stays available),
 	// while NDJSON records run inside the worker pool, which supervises each
-	// record with the compiled-in watchdog.
+	// record with the compiled-in watchdog. Each also has a fallback-off
+	// twin for the breaker's fail-fast mode.
 	base := s.baseOptions()
 	lines := base
 	if cfg.Timeout > 0 {
-		lines = append(append([]rsonpath.Option(nil), base...), rsonpath.WithTimeout(cfg.Timeout))
+		lines = withOpts(base, rsonpath.WithTimeout(cfg.Timeout))
 	}
 	s.compileQuery = func(src string) (queryRunner, error) { return s.cache.Get(src, base...) }
 	s.compileLines = func(src string) (queryRunner, error) { return s.cache.Get(src, lines...) }
 	s.compileSet = func(queries []string) (setRunner, error) { return s.cache.GetSet(queries, base...) }
+	if cfg.FallbackOff {
+		// The ladder is already off; the NF variants are the same queries.
+		s.compileQueryNF = s.compileQuery
+		s.compileLinesNF = s.compileLines
+		s.compileSetNF = s.compileSet
+	} else {
+		baseNF := withOpts(base, rsonpath.WithFallback(rsonpath.FallbackOff))
+		linesNF := withOpts(lines, rsonpath.WithFallback(rsonpath.FallbackOff))
+		s.compileQueryNF = func(src string) (queryRunner, error) { return s.cache.Get(src, baseNF...) }
+		s.compileLinesNF = func(src string) (queryRunner, error) { return s.cache.Get(src, linesNF...) }
+		s.compileSetNF = func(queries []string) (setRunner, error) { return s.cache.GetSet(queries, baseNF...) }
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -170,6 +264,13 @@ func (s *Server) baseOptions() []rsonpath.Option {
 	return opts
 }
 
+// withOpts copies opts and appends extra, so option-set variants never
+// alias each other's backing arrays.
+func withOpts(opts []rsonpath.Option, extra ...rsonpath.Option) []rsonpath.Option {
+	out := make([]rsonpath.Option, 0, len(opts)+len(extra))
+	return append(append(out, opts...), extra...)
+}
+
 // transientReadError is the retry classifier threaded from Config.RetryMax:
 // plain I/O errors are worth retrying, the library's typed verdicts
 // (malformed input, limits, cancellation) are not.
@@ -177,6 +278,41 @@ func transientReadError(err error) bool {
 	return !errors.Is(err, rsonpath.ErrMalformed) &&
 		!errors.Is(err, rsonpath.ErrLimitExceeded) &&
 		!errors.Is(err, rsonpath.ErrCanceled)
+}
+
+// brownoutLevel reads the current ladder position (0 when the controller is
+// disabled).
+func (s *Server) brownoutLevel() int {
+	if s.brown == nil {
+		return 0
+	}
+	return s.brown.Level()
+}
+
+// observePressure feeds one pressure sample to the brownout controller.
+func (s *Server) observePressure(p float64) {
+	if s.brown != nil {
+		s.brown.Observe(p)
+	}
+}
+
+// occupancy is the pressure signal for admitted (and brownout-shed) work:
+// wait-queue fill when queueing is on, slot fill otherwise. The queue only
+// forms at saturation, so its occupancy separates "busy" from "overloaded"
+// in a way raw slot usage cannot. Gate sheds report 1.0 directly; brownout
+// sheds deliberately report occupancy instead, so a brownout that succeeds
+// in draining the queue observes falling pressure and can step back up —
+// feeding its own sheds back as full pressure would latch the ladder down
+// forever.
+func (s *Server) occupancy() float64 {
+	snap := s.gate.Snapshot()
+	if snap.QueueCap > 0 {
+		return float64(snap.QueueDepth) / float64(snap.QueueCap)
+	}
+	if snap.Capacity > 0 {
+		return float64(snap.Used) / float64(snap.Capacity)
+	}
+	return 0
 }
 
 // Handler returns the daemon's HTTP handler, for embedding in a larger mux
@@ -235,19 +371,70 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// handleHealthz is the liveness probe.
+// healthReport is the /healthz body: liveness plus the overload picture a
+// load balancer needs to steer traffic. The endpoint always answers 200 —
+// an overloaded daemon is alive and shedding by design, and failing the
+// liveness probe under load would turn an overload into an outage.
+type healthReport struct {
+	Status        string  `json:"status"` // "ok" or "overloaded"
+	BrownoutLevel int     `json:"brownout_level"`
+	Pressure      float64 `json:"pressure"`
+	Breaker       string  `json:"breaker"`
+	Gate          struct {
+		Used        int64 `json:"used"`
+		Capacity    int64 `json:"capacity"`
+		Queue       int   `json:"queue"`
+		QueueCap    int   `json:"queue_cap"`
+		Bytes       int64 `json:"bytes"`
+		BytesBudget int64 `json:"bytes_budget"`
+	} `json:"gate"`
+}
+
+// handleHealthz is the liveness probe with the overload report.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	snap := s.gate.Snapshot()
+	rep := healthReport{Status: "ok", BrownoutLevel: s.brownoutLevel(), Breaker: "off"}
+	if s.brown != nil {
+		rep.Pressure = s.brown.Pressure()
+	}
+	if s.breaker != nil {
+		rep.Breaker = s.breaker.State().String()
+	}
+	rep.Gate.Used = snap.Used
+	rep.Gate.Capacity = snap.Capacity
+	rep.Gate.Queue = snap.QueueDepth
+	rep.Gate.QueueCap = snap.QueueCap
+	rep.Gate.Bytes = snap.Bytes
+	rep.Gate.BytesBudget = snap.BytesBudget
+	if rep.BrownoutLevel > 0 || (snap.QueueCap > 0 && snap.QueueDepth >= snap.QueueCap) {
+		rep.Status = "overloaded"
+	}
+	writeJSON(w, http.StatusOK, &rep)
 }
 
 // handleMetrics renders the exposition text.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.cache.Stats()
+	resident, _, evicted := s.docs.stats()
+	snap := s.gate.Snapshot()
+	adm := admGauges{
+		queueDepth:  snap.QueueDepth,
+		queueCap:    snap.QueueCap,
+		usedWeight:  snap.Used,
+		capWeight:   snap.Capacity,
+		usedBytes:   snap.Bytes,
+		bytesBudget: snap.BytesBudget,
+	}
+	adm.brownoutLevel = s.brownoutLevel()
+	if s.breaker != nil {
+		adm.breakerState = int(s.breaker.State())
+		adm.breakerOpens = s.breaker.Opens()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.render(w,
 		cacheGauges{hits: st.Hits, misses: st.Misses, evictions: st.Evictions, len: st.Len},
-		docGauges{len: s.docs.len()})
+		docGauges{len: s.docs.len(), bytes: resident, evicted: evicted},
+		adm)
 }
 
 // handleVersion identifies the build.

@@ -348,6 +348,13 @@ func (d *degradedRunner) RunIndexedSupervised(_ context.Context, _ *rsonpath.Ind
 	return d.outcome(), nil
 }
 
+func (d *degradedRunner) RunContext(_ context.Context, _ []byte, emit func(pos int)) error {
+	for _, pos := range d.offsets {
+		emit(pos)
+	}
+	return nil
+}
+
 func (d *degradedRunner) RunLinesParallel(r io.Reader, _ int, visit func(m rsonpath.LineMatch) error) error {
 	oc := d.outcome()
 	return visit(rsonpath.LineMatch{Line: 1, Record: []byte(`{}`), Offsets: d.offsets, Outcome: &oc})
@@ -557,6 +564,11 @@ func (sl *slowRunner) Explain(rsonpath.DocStats) rsonpath.Plan {
 
 func (sl *slowRunner) RunLinesParallel(io.Reader, int, func(m rsonpath.LineMatch) error) error {
 	return nil
+}
+
+func (sl *slowRunner) RunContext(ctx context.Context, data []byte, emit func(pos int)) error {
+	_, err := sl.RunSupervised(ctx, data, emit)
+	return err
 }
 
 // TestShutdownDrains verifies graceful shutdown: a request in flight when
