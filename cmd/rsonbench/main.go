@@ -11,19 +11,39 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"rsonpath/internal/bench"
+	"rsonpath/internal/cluster"
+	"rsonpath/internal/server"
+)
+
+// chaosWorkerEnv re-enters this binary as one chaos-cluster worker process:
+// the chaos experiment re-execs rsonbench itself with this variable set to
+// the worker's unix socket path (plus chaosShardEnv for its shard index),
+// because the experiment needs real killable OS processes, not goroutines.
+const (
+	chaosWorkerEnv = "RSONBENCH_CLUSTER_WORKER"
+	chaosShardEnv  = "RSONBENCH_CLUSTER_SHARD"
 )
 
 func main() {
+	if sock := os.Getenv(chaosWorkerEnv); sock != "" {
+		os.Exit(chaosWorkerMain(sock, os.Getenv(chaosShardEnv)))
+	}
 	var (
-		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, parallel_lines, swar, serve, planner, overload, table2, table3, semantics, ablation, stackless, or all")
+		exp     = flag.String("exp", "all", "experiment: a, b, c, d, grid, multiquery, parallel_lines, swar, serve, planner, overload, chaos, table2, table3, semantics, ablation, stackless, or all")
 		scale   = flag.Float64("scale", 1.0, "dataset size factor relative to DESIGN.md defaults")
 		samples = flag.Int("samples", 5, "timed samples per measurement")
 		seed    = flag.Int64("seed", 42, "dataset generation seed")
@@ -223,6 +243,38 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 		// zero sheds past saturation, or collapsed goodput fails the run.
 		return bench.CheckOverload(rep)
 
+	case "chaos":
+		fmt.Fprintln(w, "== Chaos: worker kills under open-loop load, crash isolation ==")
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("chaos: locating own binary for worker re-exec: %w", err)
+		}
+		// -scale shrinks the kill count so CI can run the full gate in a
+		// fraction of the recorded experiment's ~50s; the invariants checked
+		// per kill are identical. The floor keeps at least a couple of
+		// supervised recoveries in even the smallest smoke.
+		cycles := int(20*h.SizeFactor + 0.5)
+		if cycles < 2 {
+			cycles = 2
+		}
+		rep, err := h.RunChaos(func(shard int, socket string) *exec.Cmd {
+			cmd := exec.Command(exe)
+			cmd.Env = append(os.Environ(),
+				chaosWorkerEnv+"="+socket,
+				chaosShardEnv+"="+strconv.Itoa(shard))
+			return cmd
+		}, bench.ChaosOptions{KillCycles: cycles, Log: os.Stderr})
+		if err != nil {
+			return err
+		}
+		bench.RenderChaos(w, rep)
+		if err := writeJSON(jsonDir, "chaos", rep); err != nil {
+			return err
+		}
+		// The acceptance gate doubles as the CI chaos check: any 5xx, an
+		// unrecovered kill, or a parent goroutine/fd leak fails the run.
+		return bench.CheckChaos(rep)
+
 	case "grid":
 		fmt.Fprintln(w, "== Appendix C: full result grid ==")
 		results, err := h.RunGrid(bench.Specs)
@@ -235,4 +287,22 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// chaosWorkerMain is the hidden worker mode: serve one shard's daemon on the
+// given unix socket until the supervisor's SIGTERM (or a chaos SIGKILL ends
+// things less politely).
+func chaosWorkerMain(socket, shard string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := cluster.RunWorker(ctx, server.Config{
+		Timeout: 10 * time.Second,
+		Shard:   shard,
+		Version: "bench",
+	}, socket, 10*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsonbench worker:", err)
+		return 1
+	}
+	return 0
 }

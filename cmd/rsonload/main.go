@@ -98,6 +98,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	} else {
 		fmt.Fprintf(stdout, "requests   %d (errors %d, non-200 %d, shed %d, degraded %d)\n",
 			rep.Requests, rep.Errors, rep.NonOK, rep.Shed, rep.Degraded)
+		if rep.Errors > 0 {
+			fmt.Fprintf(stdout, "errors     %d connect/transport, %d response read\n",
+				rep.ConnectErrors, rep.ReadErrors)
+		}
 		if rep.Dropped > 0 {
 			fmt.Fprintf(stdout, "dropped    %d arrivals past the in-flight bound\n", rep.Dropped)
 		}
@@ -106,11 +110,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, ", offered %.0f, goodput %.0f", rep.OfferedRPS, rep.GoodputRPS)
 		}
 		fmt.Fprintln(stdout, ")")
-		fmt.Fprintf(stdout, "latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
-			rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP99MS, rep.LatencyMaxMS)
+		fmt.Fprintf(stdout, "latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms\n",
+			rep.LatencyP50MS, rep.LatencyP90MS, rep.LatencyP99MS, rep.LatencyP999MS, rep.LatencyMaxMS)
 		if rep.Shed > 0 {
-			fmt.Fprintf(stdout, "accepted   p50 %.2fms  p99 %.2fms\n",
-				rep.AcceptedP50MS, rep.AcceptedP99MS)
+			fmt.Fprintf(stdout, "accepted   p50 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms\n",
+				rep.AcceptedP50MS, rep.AcceptedP99MS, rep.AcceptedP999MS, rep.AcceptedMaxMS)
 		}
 		for code, n := range rep.StatusCounts {
 			fmt.Fprintf(stdout, "status %s %d\n", code, n)

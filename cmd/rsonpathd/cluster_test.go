@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary serve as its own cluster worker: the parent
+// re-execs os.Executable() with the RSONPATHD_WORKER marker set, which for a
+// test binary is the binary running this function.
+func TestMain(m *testing.M) {
+	if os.Getenv("RSONPATHD_WORKER") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestClusterModeServes boots -shards 2, queries through the router, checks
+// the aggregate health view, and expects a clean rolling drain on
+// cancellation.
+func TestClusterModeServes(t *testing.T) {
+	base, cancel, exit := startDaemon(t, "-shards", "2", "-version", "cluster-e2e")
+	defer cancel()
+
+	// Workers come up asynchronously; wait for the router to report both.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && strings.Contains(string(out), `"routable":2`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never became fully routable; last healthz: %d %s", resp.StatusCode, out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	body := `{"query": "$..b", "mode": "count", "document": {"a": {"b": 1}, "b": 2}}`
+	resp, err := http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), `"count":2`) {
+		t.Fatalf("query status %d body %s", resp.StatusCode, out)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(out), "rsonpathd_cluster_proxied_total") {
+		t.Fatalf("router metrics missing cluster counters:\n%.400s", out)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster did not drain after cancellation")
+	}
+}
+
+// TestClusterFlagValidation rejects contradictory mode flags.
+func TestClusterFlagValidation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	code := run(ctx, []string{"-shards", "2", "-worker-socket", "/tmp/x.sock"}, io.Discard, io.Discard)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for -shards with -worker-socket", code)
+	}
+}

@@ -19,13 +19,25 @@
 // Examples:
 //
 //	rsonpathd -addr :8077 -timeout 2s
+//	rsonpathd -addr :8077 -shards 4
 //	curl -s localhost:8077/v1/query -d '{"query": "$..price", "document": {"price": 9}, "mode": "count"}'
 //	curl -s 'localhost:8077/v1/query?query=%24..price&mode=count' --data-binary @doc.json
 //	curl -s 'localhost:8077/v1/query?query=%24.event' -H 'Content-Type: application/x-ndjson' --data-binary @log.jsonl
 //
-// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes
+// With -shards N > 1 the daemon becomes a crash-isolated cluster
+// (DESIGN.md §15): it re-execs itself as N shared-nothing worker processes
+// on per-worker unix sockets and serves as their supervisor and front
+// router. Workers that crash are restarted under exponential backoff;
+// persistent crash-loopers are quarantined and the service degrades to the
+// surviving shards.
+//
+// Signals: SIGINT/SIGTERM drain gracefully — the listener closes
 // immediately, in-flight requests finish under the -drain deadline, then
-// remaining connections are closed forcibly.
+// remaining connections are closed forcibly (in cluster mode the workers
+// are then drained one at a time, never two down at once). SIGHUP flushes
+// the caches and resets brownout/breaker state without restarting — fanned
+// out to every worker in cluster mode, where it also revives quarantined
+// shards.
 package main
 
 import (
@@ -34,10 +46,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"rsonpath/internal/cluster"
 	"rsonpath/internal/server"
 )
 
@@ -75,6 +90,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "NDJSON worker-pool width (0 = GOMAXPROCS)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		version    = fs.String("version", "dev", "version string reported by /version")
+
+		// Cluster mode (parent) flags.
+		shards        = fs.Int("shards", 1, "worker processes; >1 runs the crash-isolated cluster")
+		socketDir     = fs.String("socket-dir", "", "directory for per-worker unix sockets (empty = private temp dir)")
+		restartWait   = fs.Duration("restart-backoff", 100*time.Millisecond, "delay before restarting a crashed worker, doubling per crash-loop crash")
+		restartMax    = fs.Duration("max-restart-backoff", 5*time.Second, "restart backoff ceiling")
+		crashLoopN    = fs.Int("crash-loop-threshold", 5, "consecutive fast crashes before a worker is quarantined")
+		crashLoopWin  = fs.Duration("crash-loop-window", time.Second, "uptime under which a crash counts toward the crash loop")
+		affinitySlack = fs.Int64("affinity-slack", 4, "in-flight surplus the document-affinity worker may carry and still win the route")
+
+		// Worker mode flags, set by the parent's re-exec; not for operators.
+		workerSocket = fs.String("worker-socket", "", "serve one cluster shard on this unix socket (internal)")
+		workerShard  = fs.Int("worker-shard", 0, "shard index reported by this worker (internal)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,9 +115,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rsonpathd: -fallback must be on or off, not %q\n", *fallback)
 		return 2
 	}
+	if *shards > 1 && *workerSocket != "" {
+		fmt.Fprintln(stderr, "rsonpathd: -shards and -worker-socket are mutually exclusive")
+		return 2
+	}
+
+	if *shards > 1 {
+		return runCluster(ctx, fs, clusterOpts{
+			addr: *addr, shards: *shards, socketDir: *socketDir,
+			restartBackoff: *restartWait, maxRestartBackoff: *restartMax,
+			crashLoopThreshold: *crashLoopN, crashLoopWindow: *crashLoopWin,
+			affinitySlack: *affinitySlack, maxBody: *maxBody,
+			drain: *drain, version: *version,
+		}, stdout, stderr)
+	}
+
+	listenAddr := *addr
+	shardName := ""
+	if *workerSocket != "" {
+		listenAddr = "unix:" + *workerSocket
+		shardName = strconv.Itoa(*workerShard)
+	}
 
 	srv := server.New(server.Config{
-		Addr:             *addr,
+		Addr:             listenAddr,
+		Shard:            shardName,
 		QueryCacheSize:   *queryCache,
 		DocCacheSize:     *docCache,
 		DocCacheAfter:    *docAfter,
@@ -117,6 +167,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "rsonpathd: listening on %s\n", srv.Addr())
 
+	// SIGHUP: flush caches, reset brownout/breaker state, keep serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	hupDone := make(chan struct{})
+	defer close(hupDone)
+	go func() {
+		for {
+			select {
+			case <-hup:
+				srv.Flush()
+				fmt.Fprintln(stderr, "rsonpathd: SIGHUP: flushed caches and reset admission state")
+			case <-hupDone:
+				return
+			}
+		}
+	}()
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 
@@ -132,6 +200,132 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintln(stderr, "rsonpathd: drain deadline exceeded; connections closed")
+		}
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(stderr, "rsonpathd:", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// clusterOpts carries the parsed cluster-parent flags.
+type clusterOpts struct {
+	addr               string
+	shards             int
+	socketDir          string
+	restartBackoff     time.Duration
+	maxRestartBackoff  time.Duration
+	crashLoopThreshold int
+	crashLoopWindow    time.Duration
+	affinitySlack      int64
+	maxBody            int64
+	drain              time.Duration
+	version            string
+}
+
+// clusterOnlyFlags are the flags that steer the parent and must not be
+// forwarded to workers (a forwarded -shards would fork-bomb).
+var clusterOnlyFlags = map[string]bool{
+	"shards": true, "addr": true, "socket-dir": true,
+	"restart-backoff": true, "max-restart-backoff": true,
+	"crash-loop-threshold": true, "crash-loop-window": true,
+	"affinity-slack": true,
+}
+
+// workerArgs rebuilds the command line for a worker re-exec: every server
+// flag the operator set, minus the cluster-only ones, plus the worker
+// identity. Rebuilding from parsed values (rather than scrubbing the raw
+// argv) handles both -flag value and -flag=value spellings for free.
+func workerArgs(fs *flag.FlagSet, shard int, socket string) []string {
+	var argv []string
+	fs.Visit(func(f *flag.Flag) {
+		if clusterOnlyFlags[f.Name] {
+			return
+		}
+		argv = append(argv, "-"+f.Name+"="+f.Value.String())
+	})
+	return append(argv,
+		"-worker-socket="+socket,
+		"-worker-shard="+strconv.Itoa(shard))
+}
+
+// runCluster is the -shards N parent: supervisor plus front router.
+func runCluster(ctx context.Context, fs *flag.FlagSet, o clusterOpts, stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(stderr, "rsonpathd: cannot locate own binary for worker re-exec:", err)
+		return 1
+	}
+	cl, err := cluster.New(cluster.Config{
+		Shards:    o.shards,
+		Addr:      o.addr,
+		SocketDir: o.socketDir,
+		WorkerCommand: func(shard int, socket string) *exec.Cmd {
+			cmd := exec.Command(exe, workerArgs(fs, shard, socket)...)
+			// The marker lets a test binary hosting run() recognize its own
+			// re-exec and dispatch back into run() instead of the test driver;
+			// the production binary ignores it.
+			cmd.Env = append(os.Environ(), "RSONPATHD_WORKER=1")
+			cmd.Stdout = stdout
+			cmd.Stderr = stderr
+			return cmd
+		},
+		RestartBackoff:     o.restartBackoff,
+		MaxRestartBackoff:  o.maxRestartBackoff,
+		CrashLoopWindow:    o.crashLoopWindow,
+		CrashLoopThreshold: o.crashLoopThreshold,
+		DrainTimeout:       o.drain,
+		AffinitySlack:      o.affinitySlack,
+		MaxBodyBytes:       o.maxBody,
+		Version:            o.version,
+		Log:                stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "rsonpathd:", err)
+		return 1
+	}
+	if err := cl.Start(); err != nil {
+		fmt.Fprintln(stderr, "rsonpathd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rsonpathd: listening on %s\n", cl.Addr())
+	fmt.Fprintf(stdout, "rsonpathd: cluster mode, %d worker shards\n", o.shards)
+
+	// SIGHUP fans out to the workers and revives quarantined shards.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	hupDone := make(chan struct{})
+	defer close(hupDone)
+	go func() {
+		for {
+			select {
+			case <-hup:
+				cl.SignalWorkers(syscall.SIGHUP)
+				fmt.Fprintln(stderr, "rsonpathd: SIGHUP: flushing worker caches, reviving quarantined shards")
+			case <-hupDone:
+				return
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- cl.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(stderr, "rsonpathd:", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+		fmt.Fprintf(stderr, "rsonpathd: shutting down, rolling worker drain for up to %s each\n", o.drain)
+		dctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := cl.Shutdown(dctx); err != nil {
 			fmt.Fprintln(stderr, "rsonpathd: drain deadline exceeded; connections closed")
 		}
 		if err := <-serveErr; err != nil {

@@ -185,3 +185,13 @@ func (b *Breaker) Opens() int64 {
 	defer b.mu.Unlock()
 	return b.opens
 }
+
+// Reset force-closes the breaker and clears the event window, keeping the
+// lifetime Opens counter. rsonpathd calls it on SIGHUP alongside the cache
+// flush: the operator is declaring the fault episode over.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.reset()
+}

@@ -125,3 +125,15 @@ func (b *Brownout) Pressure() float64 {
 	defer b.mu.Unlock()
 	return b.ewma
 }
+
+// Reset returns the controller to level 0 with a cleared EWMA, as if freshly
+// constructed. rsonpathd calls it on SIGHUP: an operator flushing caches is
+// declaring the overload episode over, and a latched-down ladder should not
+// outlive that declaration.
+func (b *Brownout) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ewma = 0
+	b.level = 0
+	b.dwell = 0
+}

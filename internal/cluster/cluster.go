@@ -1,0 +1,280 @@
+// Package cluster is rsonpathd's crash-isolated multi-process serving layer
+// (DESIGN.md §15). A parent process supervises N shared-nothing worker
+// processes — each a full daemon with its own query cache, document cache
+// and admission gate, listening on a per-worker unix domain socket — and
+// fronts them with a thin router that health-gates membership, balances by
+// least-inflight with consistent-hash affinity on the document digest, and
+// fails requests over when a worker dies mid-flight.
+//
+// The design goal is blast-radius control: a worker panic, OOM kill, or
+// runaway request costs that shard's in-flight requests (which the router
+// re-dispatches or cleanly truncates), never the service. The supervisor
+// restarts crashed workers under exponential backoff, quarantines
+// persistent crash-loopers so one poisoned shard cannot consume the parent,
+// and drains workers one at a time on shutdown — never two down at once.
+//
+// Workers are real OS processes started by re-exec'ing the serving binary
+// (Config.WorkerCommand); unix sockets were chosen over SO_REUSEPORT
+// because kernel-side balancing cannot health-gate a dying worker out of
+// rotation and defeats document affinity entirely.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Config describes one cluster. WorkerCommand and Shards are required; the
+// zero value of everything else selects the documented default.
+type Config struct {
+	// Shards is the number of worker processes.
+	Shards int
+	// Addr is the router's public listen address, e.g. ":8077".
+	Addr string
+	// SocketDir holds the per-worker unix sockets. Empty creates (and owns,
+	// and removes on Close) a fresh temp directory.
+	SocketDir string
+	// WorkerCommand builds the (not yet started) command for one worker:
+	// typically a re-exec of the serving binary with a -worker-socket flag.
+	// The cluster sets process-group/parent-death attributes and wires
+	// stdout/stderr; the command must serve HTTP on "unix:"+socket and exit
+	// on SIGTERM.
+	WorkerCommand func(shard int, socket string) *exec.Cmd
+
+	// RestartBackoff is the delay before the first restart of a crashed
+	// worker, doubling per consecutive crash-loop crash up to
+	// MaxRestartBackoff. A crash after an uptime of at least CrashLoopWindow
+	// is treated as fresh: backoff returns to RestartBackoff. Defaults:
+	// 100ms, 5s, 1s.
+	RestartBackoff    time.Duration
+	MaxRestartBackoff time.Duration
+	CrashLoopWindow   time.Duration
+	// CrashLoopThreshold quarantines a worker after this many consecutive
+	// crashes with uptime under CrashLoopWindow: the supervisor stops
+	// restarting it and the service degrades to the surviving shards.
+	// SIGHUP (Revive) lifts the quarantine. Default 5.
+	CrashLoopThreshold int
+
+	// HealthInterval and HealthTimeout drive the per-worker /healthz probe
+	// that gates router membership. Defaults: 100ms, 500ms.
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+
+	// DrainTimeout bounds one worker's graceful SIGTERM drain during
+	// shutdown before it is SIGKILLed. Default 10s.
+	DrainTimeout time.Duration
+
+	// MaxBodyBytes caps the request body the router will buffer for
+	// re-dispatch; it should match the workers' own cap. <= 0 selects
+	// server.DefaultMaxBodyBytes (64 MiB).
+	MaxBodyBytes int64
+	// RouteWait bounds how long an arrival waits for any routable worker
+	// (all shards down or restarting) before 503. Default 2s.
+	RouteWait time.Duration
+	// AffinitySlack is how many in-flight requests beyond the least-loaded
+	// worker the affinity worker may carry and still win the pick. Default 4.
+	AffinitySlack int64
+
+	// Version is reported by the router's /version.
+	Version string
+	// Log receives one-line supervision events (starts, crashes,
+	// quarantines); nil discards them.
+	Log io.Writer
+}
+
+// withDefaults fills unset fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxRestartBackoff <= 0 {
+		cfg.MaxRestartBackoff = 5 * time.Second
+	}
+	if cfg.CrashLoopWindow <= 0 {
+		cfg.CrashLoopWindow = time.Second
+	}
+	if cfg.CrashLoopThreshold <= 0 {
+		cfg.CrashLoopThreshold = 5
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 100 * time.Millisecond
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 500 * time.Millisecond
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.RouteWait <= 0 {
+		cfg.RouteWait = 2 * time.Second
+	}
+	if cfg.AffinitySlack <= 0 {
+		cfg.AffinitySlack = 4
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return cfg
+}
+
+// Cluster is one supervised shard set plus its front router. Create with
+// New, bring up with Start, serve with Serve, stop with Shutdown.
+type Cluster struct {
+	cfg     Config
+	shards  []*shard
+	ring    *hashRing
+	met     clusterMetrics
+	http    *http.Server
+	lis     net.Listener
+	ownDir  bool          // SocketDir was created by us; remove on Close
+	stopCh  chan struct{} // closed once, stops supervisors and probers
+	stopped sync.Once
+	wg      sync.WaitGroup // supervisor + prober goroutines
+}
+
+// New validates cfg and builds the cluster; no processes start until Start.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		return nil, errors.New("cluster: Shards must be positive")
+	}
+	if cfg.WorkerCommand == nil {
+		return nil, errors.New("cluster: WorkerCommand required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, stopCh: make(chan struct{})}
+	if cfg.SocketDir == "" {
+		dir, err := os.MkdirTemp("", "rsonpathd-cluster-*")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: socket dir: %w", err)
+		}
+		c.cfg.SocketDir = dir
+		c.ownDir = true
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		c.shards = append(c.shards, newShard(c, i, filepath.Join(c.cfg.SocketDir, fmt.Sprintf("worker-%d.sock", i))))
+	}
+	c.ring = newHashRing(cfg.Shards, ringVnodes)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", c.handleProxy)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /version", c.handleVersion)
+	c.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return c, nil
+}
+
+// Start spawns the worker processes (each under its supervisor), starts the
+// health probers, and opens the router's public listener.
+func (c *Cluster) Start() error {
+	lis, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	c.lis = lis
+	for _, sh := range c.shards {
+		c.wg.Add(2)
+		go c.supervise(sh)
+		go c.probe(sh)
+	}
+	return nil
+}
+
+// Addr returns the router's bound public address; nil before Start.
+func (c *Cluster) Addr() net.Addr {
+	if c.lis == nil {
+		return nil
+	}
+	return c.lis.Addr()
+}
+
+// Serve accepts router connections until Shutdown. Returns nil on graceful
+// shutdown.
+func (c *Cluster) Serve() error {
+	if c.lis == nil {
+		return errors.New("cluster: Serve before Start")
+	}
+	err := c.http.Serve(c.lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops the cluster: the router drains client connections under
+// ctx, then the workers are drained one at a time — SIGTERM, wait up to
+// DrainTimeout, SIGKILL stragglers — so at no point are two workers down at
+// once. The socket directory is removed if the cluster created it.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	// Stop supervisors first so worker exits below are treated as planned,
+	// not as crashes to restart.
+	c.stopped.Do(func() { close(c.stopCh) })
+	err := c.http.Shutdown(ctx)
+	if err != nil {
+		c.http.Close()
+	}
+	for _, sh := range c.shards {
+		sh.drain(c.cfg.DrainTimeout)
+	}
+	c.wg.Wait()
+	if c.ownDir {
+		os.RemoveAll(c.cfg.SocketDir)
+	}
+	return err
+}
+
+// SignalWorkers forwards sig to every running worker (SIGHUP fan-out) and
+// revives quarantined shards: the operator flushing state is also declaring
+// a crash-looped shard worth another try.
+func (c *Cluster) SignalWorkers(sig os.Signal) {
+	for _, sh := range c.shards {
+		sh.signal(sig)
+		sh.revive()
+	}
+}
+
+// ShardState is one worker's externally visible state.
+type ShardState struct {
+	ID       int    `json:"id"`
+	PID      int    `json:"pid"` // 0 when not running
+	State    string `json:"state"`
+	Routable bool   `json:"routable"`
+	Inflight int64  `json:"inflight"`
+	Restarts int64  `json:"restarts"`
+}
+
+// ShardStates snapshots every shard, for /healthz, the chaos harness (which
+// needs PIDs to SIGKILL), and the tests.
+func (c *Cluster) ShardStates() []ShardState {
+	out := make([]ShardState, 0, len(c.shards))
+	for _, sh := range c.shards {
+		out = append(out, sh.snapshot())
+	}
+	return out
+}
+
+// RoutableShards counts shards currently in the router's rotation.
+func (c *Cluster) RoutableShards() int {
+	n := 0
+	for _, sh := range c.shards {
+		if sh.routable.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	fmt.Fprintf(c.cfg.Log, "rsonpathd-cluster: "+format+"\n", args...)
+}

@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rsonpath/internal/server"
+)
+
+// The cluster needs real killable worker processes, so the test binary
+// re-execs itself: TestMain checks CLUSTER_TEST_MODE and becomes a worker
+// (or a deliberately crashing one) instead of running the tests.
+func TestMain(m *testing.M) {
+	switch os.Getenv("CLUSTER_TEST_MODE") {
+	case "":
+		os.Exit(m.Run())
+	case "worker":
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+		defer stop()
+		err := RunWorker(ctx, server.Config{
+			Timeout: 10 * time.Second,
+			Shard:   os.Getenv("CLUSTER_TEST_SHARD"),
+			Version: "cluster-test",
+		}, os.Getenv("CLUSTER_TEST_SOCKET"), 5*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "test worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "crash":
+		// A worker that dies on boot: the crash-loop pathology.
+		os.Exit(3)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown CLUSTER_TEST_MODE")
+		os.Exit(2)
+	}
+}
+
+// testWorkerCommand re-execs this test binary in the given mode.
+func testWorkerCommand(mode string) func(int, string) *exec.Cmd {
+	exe, err := os.Executable()
+	if err != nil {
+		panic(err)
+	}
+	return func(shard int, socket string) *exec.Cmd {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"CLUSTER_TEST_MODE="+mode,
+			"CLUSTER_TEST_SOCKET="+socket,
+			fmt.Sprintf("CLUSTER_TEST_SHARD=%d", shard))
+		return cmd
+	}
+}
+
+// startTestCluster boots a cluster of real worker processes and registers
+// cleanup. Returns the cluster and its base URL.
+func startTestCluster(t *testing.T, cfg Config) (*Cluster, string) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		cl.Shutdown(ctx)
+		<-done
+	})
+	return cl, "http://" + cl.Addr().String()
+}
+
+// waitRoutableShards blocks until n shards are routable or the deadline
+// passes.
+func waitRoutableShards(t *testing.T, cl *Cluster, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for cl.RoutableShards() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d shards routable after %s: %+v", cl.RoutableShards(), n, timeout, cl.ShardStates())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postQuery(base string) (*http.Response, error) {
+	body := `{"query": "$..b", "mode": "count", "document": {"a": {"b": 1}, "b": 2}}`
+	return http.Post(base+"/v1/query", "application/json", strings.NewReader(body))
+}
+
+// TestClusterServesAndFailsOver boots two worker processes, serves a query
+// through the router, SIGKILLs a worker, and expects requests to keep
+// succeeding throughout while the supervisor restarts the victim.
+func TestClusterServesAndFailsOver(t *testing.T) {
+	cl, base := startTestCluster(t, Config{
+		Shards:        2,
+		WorkerCommand: testWorkerCommand("worker"),
+	})
+	waitRoutableShards(t, cl, 2, 10*time.Second)
+
+	check := func(stage string) {
+		resp, err := postQuery(base)
+		if err != nil {
+			t.Fatalf("%s: query: %v", stage, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), `"count":2`) {
+			t.Fatalf("%s: status %d body %s", stage, resp.StatusCode, out)
+		}
+	}
+	check("before kill")
+
+	victim := cl.ShardStates()[0]
+	if victim.PID <= 0 {
+		t.Fatalf("shard 0 has no pid: %+v", victim)
+	}
+	if err := syscall.Kill(victim.PID, syscall.SIGKILL); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// Immediately after the kill the router must still answer — the health
+	// probe may not have noticed yet, so this exercises dead-worker failover,
+	// not just healthy routing.
+	for i := 0; i < 5; i++ {
+		check("right after kill")
+	}
+
+	// The supervisor restarts the shard and the probe puts it back.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := cl.ShardStates()[0]
+		if st.Routable && st.Restarts >= 1 && st.PID != victim.PID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never restarted: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	check("after restart")
+	if got := cl.met.crashes.Load(); got < 1 {
+		t.Errorf("crashes counter = %d, want >= 1", got)
+	}
+}
+
+// TestClusterCrashLoopQuarantine runs a worker that dies on boot and expects
+// the supervisor to stop restarting it after the threshold; SIGHUP lifts the
+// quarantine for another round.
+func TestClusterCrashLoopQuarantine(t *testing.T) {
+	cl, base := startTestCluster(t, Config{
+		Shards:             1,
+		WorkerCommand:      testWorkerCommand("crash"),
+		RestartBackoff:     2 * time.Millisecond,
+		MaxRestartBackoff:  10 * time.Millisecond,
+		CrashLoopThreshold: 3,
+		RouteWait:          50 * time.Millisecond,
+	})
+
+	waitState := func(stage string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for cl.ShardStates()[0].State != stateQuarantined {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: shard never quarantined: %+v", stage, cl.ShardStates())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitState("first round")
+	if got := cl.met.quarantines.Load(); got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+	crashesAtQuarantine := cl.met.crashes.Load()
+
+	// Quarantined and nothing else: requests get a clean 503, not a hang.
+	resp, err := postQuery(base)
+	if err != nil {
+		t.Fatalf("query against quarantined cluster: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 with every shard quarantined", resp.StatusCode)
+	}
+
+	// No restarts accrue while quarantined.
+	time.Sleep(100 * time.Millisecond)
+	if got := cl.met.crashes.Load(); got != crashesAtQuarantine {
+		t.Fatalf("crashes kept accruing in quarantine: %d -> %d", crashesAtQuarantine, got)
+	}
+
+	// SIGHUP revives; the worker still crash-loops, so it lands back in
+	// quarantine after another threshold's worth of attempts.
+	cl.SignalWorkers(syscall.SIGHUP)
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.met.quarantines.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("revived shard never re-quarantined: %+v", cl.ShardStates())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterUptimeResetsBackoff kills a healthy long-lived worker several
+// times in a row and expects every restart to be prompt: an uptime past
+// CrashLoopWindow must reset both the backoff and the loop counter, or a
+// chaos-style kill sequence would walk the shard into quarantine.
+func TestClusterUptimeResetsBackoff(t *testing.T) {
+	cl, _ := startTestCluster(t, Config{
+		Shards:             1,
+		WorkerCommand:      testWorkerCommand("worker"),
+		RestartBackoff:     20 * time.Millisecond,
+		CrashLoopWindow:    50 * time.Millisecond,
+		CrashLoopThreshold: 2,
+	})
+	waitRoutableShards(t, cl, 1, 10*time.Second)
+
+	for round := 0; round < 4; round++ {
+		st := cl.ShardStates()[0]
+		// Past the crash-loop window, so this kill reads as a fresh crash.
+		time.Sleep(60 * time.Millisecond)
+		syscall.Kill(st.PID, syscall.SIGKILL)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			now := cl.ShardStates()[0]
+			if now.Routable && now.PID != st.PID {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: shard never came back: %+v", round, now)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if got := cl.met.quarantines.Load(); got != 0 {
+		t.Fatalf("quarantines = %d after spaced kills, want 0", got)
+	}
+}
+
+// TestClusterShutdownLeavesNoWorkers drains the cluster and verifies every
+// worker process is gone afterwards.
+func TestClusterShutdownLeavesNoWorkers(t *testing.T) {
+	cl, err := New(Config{
+		Shards:        2,
+		Addr:          "127.0.0.1:0",
+		WorkerCommand: testWorkerCommand("worker"),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Serve() }()
+
+	waitRoutableShards(t, cl, 2, 10*time.Second)
+	var pids []int
+	for _, st := range cl.ShardStates() {
+		pids = append(pids, st.PID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := cl.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	for _, pid := range pids {
+		// Signal 0 probes existence. The worker was our child and Shutdown
+		// reaped it via Wait, so ESRCH is the expected outcome.
+		if err := syscall.Kill(pid, 0); err == nil {
+			t.Errorf("worker pid %d still alive after Shutdown", pid)
+		}
+	}
+	if dir := cl.cfg.SocketDir; dir != "" {
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Errorf("owned socket dir %s survived Shutdown (err=%v)", dir, err)
+		}
+	}
+}
+
+// TestRingAffinityStableAndBalanced covers the consistent-hash ring: stable
+// assignment, every shard reachable, and a working fallback walk when the
+// preferred shard is excluded.
+func TestRingAffinityStableAndBalanced(t *testing.T) {
+	r := newHashRing(4, ringVnodes)
+	counts := make(map[int]int)
+	all := func(int) bool { return true }
+	for i := 0; i < 4096; i++ {
+		key := ringHash(fmt.Sprintf("doc-%d", i))
+		a := r.lookup(key, all)
+		if a != r.lookup(key, all) {
+			t.Fatalf("lookup not deterministic for key %d", key)
+		}
+		counts[a]++
+	}
+	for s := 0; s < 4; s++ {
+		if counts[s] == 0 {
+			t.Fatalf("shard %d never chosen: %v", s, counts)
+		}
+		if counts[s] > 4096/2 {
+			t.Fatalf("shard %d owns %d/4096 keys; ring badly unbalanced: %v", s, counts[s], counts)
+		}
+	}
+
+	key := ringHash("some-document")
+	pref := r.lookup(key, all)
+	next := r.lookup(key, func(s int) bool { return s != pref })
+	if next == pref || next < 0 {
+		t.Fatalf("fallback lookup returned %d (preferred %d)", next, pref)
+	}
+	if got := r.lookup(key, func(int) bool { return false }); got != -1 {
+		t.Fatalf("lookup with no acceptable shard = %d, want -1", got)
+	}
+}
+
+// TestRouterPick covers the balancing policy without any processes: affinity
+// wins within the slack, least-inflight wins past it, tried and unroutable
+// shards are skipped.
+func TestRouterPick(t *testing.T) {
+	c := &Cluster{cfg: Config{AffinitySlack: 2}.withDefaults()}
+	for i := 0; i < 3; i++ {
+		c.shards = append(c.shards, newShard(c, i, ""))
+		c.shards[i].routable.Store(true)
+	}
+	c.cfg.AffinitySlack = 2
+	c.ring = newHashRing(3, ringVnodes)
+
+	key := ringHash("the-document")
+	aff := c.ring.lookup(key, func(int) bool { return true })
+
+	if got := c.pick(key, map[int]bool{}); got == nil || got.id != aff {
+		t.Fatalf("pick with idle shards = %v, want affinity shard %d", got, aff)
+	}
+
+	// Affinity shard loaded past the slack: least-inflight wins.
+	c.shards[aff].inflight.Store(10)
+	got := c.pick(key, map[int]bool{})
+	if got == nil || got.id == aff {
+		t.Fatalf("pick chose overloaded affinity shard %d", aff)
+	}
+	c.shards[aff].inflight.Store(0)
+
+	// Affinity shard already tried: a different shard is picked.
+	if got := c.pick(key, map[int]bool{aff: true}); got == nil || got.id == aff {
+		t.Fatalf("pick returned tried shard %d", aff)
+	}
+
+	// Nothing routable: nil.
+	for _, sh := range c.shards {
+		sh.routable.Store(false)
+	}
+	if got := c.pick(key, map[int]bool{}); got != nil {
+		t.Fatalf("pick with no routable shards = %v, want nil", got)
+	}
+}
+
+// TestClusterHealthzAndMetrics checks the router's own endpoints.
+func TestClusterHealthzAndMetrics(t *testing.T) {
+	cl, base := startTestCluster(t, Config{
+		Shards:        2,
+		WorkerCommand: testWorkerCommand("worker"),
+		Version:       "cluster-test",
+	})
+	waitRoutableShards(t, cl, 2, 10*time.Second)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(out), `"status":"ok"`) {
+		t.Fatalf("healthz status %d body %s", resp.StatusCode, out)
+	}
+
+	if _, err := postQuery(base); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"rsonpathd_cluster_proxied_total",
+		"rsonpathd_cluster_restarts_total",
+		"rsonpathd_cluster_goroutines",
+		"rsonpathd_cluster_open_fds",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("metrics output missing %s", want)
+		}
+	}
+
+	resp, err = http.Get(base + "/version")
+	if err != nil {
+		t.Fatalf("version: %v", err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(out), `"cluster-test"`) || !strings.Contains(string(out), `"cluster"`) {
+		t.Fatalf("version body %s", out)
+	}
+}

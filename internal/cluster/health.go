@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// unixClient builds an HTTP client whose every connection dials the given
+// unix socket; the URL host is decorative. One transport per shard lives
+// for the cluster's lifetime — worker restarts invalidate pooled
+// connections, which surface as transport errors the router already fails
+// over on, then the pool re-dials the fresh listener.
+func unixClient(socket string, timeout time.Duration) *http.Client {
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", socket)
+		},
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &http.Client{Transport: tr, Timeout: timeout}
+}
+
+// probe is the per-shard health loop: every HealthInterval, GET the
+// worker's /healthz with a HealthTimeout budget and gate routability on a
+// 200. A worker that answers 503 (draining) or nothing (starting, dead,
+// wedged) is out of rotation; one clean answer puts it back — recovery
+// latency is one probe tick, which is why the interval defaults to 100ms.
+// Process death is additionally detected synchronously by the supervisor
+// (setExited), so the probe is the gate for "alive but not well", not the
+// only line of defense.
+func (c *Cluster) probe(sh *shard) {
+	defer c.wg.Done()
+	client := unixClient(sh.socket, c.cfg.HealthTimeout)
+	defer client.CloseIdleConnections()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+		}
+		cmd, _ := sh.running()
+		if cmd == nil {
+			continue // not running; routable already false
+		}
+		now := probeOnce(client) && sh.isRunning()
+		was := sh.routable.Swap(now)
+		if was != now {
+			if now {
+				c.met.healthUp.Add(1)
+				c.logf("shard %d: healthy, in rotation", sh.id)
+			} else {
+				c.met.healthDown.Add(1)
+				c.logf("shard %d: health probe failed, out of rotation", sh.id)
+			}
+		}
+	}
+}
+
+// isRunning re-checks process state after a probe, so a worker that died
+// mid-probe cannot be marked routable by the stale 200.
+func (sh *shard) isRunning() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.state == stateRunning
+}
+
+// probeOnce is one GET /healthz; any 200 within the client timeout is
+// healthy.
+func probeOnce(client *http.Client) bool {
+	resp, err := client.Get("http://worker/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+)
+
+// clusterMetrics are the parent process's own counters, disjoint from the
+// per-worker rsonpathd_* metrics (each worker serves its own /metrics on its
+// socket). Everything is a monotone counter except the two process gauges
+// sampled at render time.
+type clusterMetrics struct {
+	// Supervision.
+	startFailures atomic.Int64 // exec/start errors (binary missing, fd exhaustion)
+	restarts      atomic.Int64 // worker processes started beyond each shard's first
+	crashes       atomic.Int64 // unplanned worker exits observed
+	quarantines   atomic.Int64 // crash-loop circuit breaker trips
+	healthUp      atomic.Int64 // probe transitions into rotation
+	healthDown    atomic.Int64 // probe transitions out of rotation
+
+	// Routing.
+	proxied         atomic.Int64 // requests accepted by the front router
+	proxyNs         atomic.Int64 // total router-side latency, nanoseconds
+	affinityHits    atomic.Int64 // picks won by the consistent-hash choice
+	failovers       atomic.Int64 // attempts re-dispatched after a transport failure
+	noWorker        atomic.Int64 // 503s: no routable shard within RouteWait
+	badGateway      atomic.Int64 // 502s: every re-dispatch attempt failed
+	streamTruncated atomic.Int64 // NDJSON streams ended with a worker_lost trailer
+}
+
+// render writes the Prometheus exposition format, mirroring the workers'
+// /metrics conventions.
+func (m *clusterMetrics) render(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("rsonpathd_cluster_start_failures_total", "Worker process start failures.", m.startFailures.Load())
+	counter("rsonpathd_cluster_restarts_total", "Worker processes restarted after a crash.", m.restarts.Load())
+	counter("rsonpathd_cluster_crashes_total", "Unplanned worker exits observed by the supervisor.", m.crashes.Load())
+	counter("rsonpathd_cluster_quarantines_total", "Crash-loop circuit breaker trips.", m.quarantines.Load())
+	counter("rsonpathd_cluster_health_up_total", "Shard transitions into router rotation.", m.healthUp.Load())
+	counter("rsonpathd_cluster_health_down_total", "Shard transitions out of router rotation.", m.healthDown.Load())
+	counter("rsonpathd_cluster_proxied_total", "Requests accepted by the front router.", m.proxied.Load())
+	counter("rsonpathd_cluster_affinity_hits_total", "Routing picks won by document affinity.", m.affinityHits.Load())
+	counter("rsonpathd_cluster_failovers_total", "Request attempts re-dispatched after worker transport failure.", m.failovers.Load())
+	counter("rsonpathd_cluster_no_worker_total", "Requests rejected 503 with no routable shard.", m.noWorker.Load())
+	counter("rsonpathd_cluster_bad_gateway_total", "Requests failed 502 after exhausting re-dispatch attempts.", m.badGateway.Load())
+	counter("rsonpathd_cluster_stream_truncated_total", "NDJSON streams ended with a worker_lost error trailer.", m.streamTruncated.Load())
+	counter("rsonpathd_cluster_proxy_ns_total", "Cumulative router-side request latency in nanoseconds.", m.proxyNs.Load())
+	gauge("rsonpathd_cluster_goroutines", "Parent process goroutine count.", int64(runtime.NumGoroutine()))
+	gauge("rsonpathd_cluster_open_fds", "Parent process open file descriptors (-1 when unavailable).", int64(CountFDs()))
+}
+
+// CountFDs returns the calling process's open file descriptor count via
+// /proc/self/fd, or -1 where procfs is unavailable (non-Linux); callers — the
+// chaos leak gate — skip the check then rather than fail it.
+func CountFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir itself holds one fd; exclude it.
+	return len(ents) - 1
+}
+
+// clusterHealth is the router /healthz body.
+type clusterHealth struct {
+	Status   string       `json:"status"` // "ok" | "degraded" | "down"
+	Shards   int          `json:"shards"`
+	Routable int          `json:"routable"`
+	Workers  []ShardState `json:"workers"`
+}
+
+// handleHealthz reports aggregate cluster health: 200 while at least one
+// shard is routable (the whole point of crash isolation is that the service
+// answers while any shard survives), 503 only when none is.
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rep := clusterHealth{Shards: len(c.shards), Routable: c.RoutableShards(), Workers: c.ShardStates()}
+	status := http.StatusOK
+	switch {
+	case rep.Routable == len(c.shards):
+		rep.Status = "ok"
+	case rep.Routable > 0:
+		rep.Status = "degraded"
+	default:
+		rep.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&rep)
+}
+
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.met.render(w)
+}
+
+func (c *Cluster) handleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"version": c.cfg.Version,
+		"mode":    "cluster",
+		"shards":  len(c.shards),
+	})
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"net/http"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Shard lifecycle states. A shard is routable only in stateRunning *and*
+// after a health probe has confirmed it (sh.routable); the states exist so
+// /healthz and the logs can say *why* a shard is out of rotation.
+const (
+	stateStarting    = "starting"
+	stateRunning     = "running"
+	stateDown        = "down" // crashed, restart pending
+	stateQuarantined = "quarantined"
+	stateStopped     = "stopped" // planned shutdown
+)
+
+// shard is one supervised worker slot: a stable identity (id, socket path,
+// ring position) across however many worker processes live and die in it.
+type shard struct {
+	id     int
+	socket string
+	cl     *Cluster
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	pid      int
+	state    string
+	gen      chan struct{} // closed when the current process exits
+	reviveCh chan struct{} // buffered(1): lifts quarantine
+	httpc    *http.Client  // lazily built pooled unix-socket client
+
+	routable atomic.Bool  // health-gated router membership
+	inflight atomic.Int64 // router requests currently proxied here
+	restarts atomic.Int64 // processes started beyond the first
+}
+
+func newShard(cl *Cluster, id int, socket string) *shard {
+	return &shard{id: id, socket: socket, cl: cl, state: stateStarting,
+		reviveCh: make(chan struct{}, 1)}
+}
+
+// supervise is the per-shard restart loop: start the worker, wait for it to
+// exit, classify the exit (planned, fresh crash, crash-loop crash), and
+// restart under exponential backoff — or quarantine after
+// CrashLoopThreshold consecutive fast crashes. Runs until cluster shutdown.
+func (c *Cluster) supervise(sh *shard) {
+	defer c.wg.Done()
+	backoff := c.cfg.RestartBackoff
+	loopCrashes := 0
+	first := true
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+
+		cmd := c.cfg.WorkerCommand(sh.id, sh.socket)
+		decorate(cmd)
+		start := time.Now()
+		if err := cmd.Start(); err != nil {
+			// Start failure (binary gone, fd exhaustion) is a fast crash:
+			// same backoff, same quarantine ladder.
+			c.logf("shard %d: start failed: %v", sh.id, err)
+			c.met.startFailures.Add(1)
+			loopCrashes++
+			if sh.maybeQuarantine(loopCrashes) {
+				if !sh.awaitRevive(c.stopCh) {
+					return
+				}
+				loopCrashes, backoff = 0, c.cfg.RestartBackoff
+				continue
+			}
+			backoff = nextBackoff(backoff, c.cfg.MaxRestartBackoff)
+			if !sleepOrStop(backoff, c.stopCh) {
+				return
+			}
+			continue
+		}
+		sh.setRunning(cmd)
+		if first {
+			first = false
+		} else {
+			sh.restarts.Add(1)
+			c.met.restarts.Add(1)
+		}
+		c.logf("shard %d: worker pid %d started", sh.id, cmd.Process.Pid)
+
+		err := cmd.Wait()
+		uptime := time.Since(start)
+		sh.setExited()
+
+		select {
+		case <-c.stopCh:
+			sh.setState(stateStopped)
+			return
+		default:
+		}
+		c.met.crashes.Add(1)
+		c.logf("shard %d: worker pid %d exited after %s: %v", sh.id, cmd.Process.Pid, uptime.Round(time.Millisecond), err)
+
+		if uptime >= c.cfg.CrashLoopWindow {
+			// The worker did real service before dying (an OOM kill, a chaos
+			// SIGKILL): restart promptly and forget prior sins.
+			loopCrashes = 0
+			backoff = c.cfg.RestartBackoff
+		} else {
+			loopCrashes++
+			if sh.maybeQuarantine(loopCrashes) {
+				if !sh.awaitRevive(c.stopCh) {
+					return
+				}
+				loopCrashes, backoff = 0, c.cfg.RestartBackoff
+				continue
+			}
+			backoff = nextBackoff(backoff, c.cfg.MaxRestartBackoff)
+		}
+		if !sleepOrStop(backoff, c.stopCh) {
+			return
+		}
+	}
+}
+
+// maybeQuarantine flips the shard into quarantine at the crash-loop
+// threshold and reports whether it did.
+func (sh *shard) maybeQuarantine(loopCrashes int) bool {
+	if loopCrashes < sh.cl.cfg.CrashLoopThreshold {
+		return false
+	}
+	// Drain any stale revive token (a SIGHUP that raced a previous
+	// quarantine lift) so entering quarantine requires a fresh signal to
+	// leave it.
+	select {
+	case <-sh.reviveCh:
+	default:
+	}
+	sh.setState(stateQuarantined)
+	sh.cl.met.quarantines.Add(1)
+	sh.cl.logf("shard %d: quarantined after %d consecutive crash-loop exits; service degrades to surviving shards (SIGHUP revives)",
+		sh.id, loopCrashes)
+	return true
+}
+
+// awaitRevive parks a quarantined shard until SIGHUP (or shutdown; the
+// return value is false exactly then).
+func (sh *shard) awaitRevive(stop <-chan struct{}) bool {
+	select {
+	case <-sh.reviveCh:
+		sh.cl.logf("shard %d: quarantine lifted", sh.id)
+		sh.setState(stateStarting)
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// revive lifts quarantine, if the shard is in it; no-op otherwise (the
+// buffered channel absorbs the signal, and a stale token is drained before
+// the next quarantine could consume it — see maybeQuarantine's caller,
+// which only selects on reviveCh while quarantined).
+func (sh *shard) revive() {
+	sh.mu.Lock()
+	quarantined := sh.state == stateQuarantined
+	sh.mu.Unlock()
+	if !quarantined {
+		return
+	}
+	select {
+	case sh.reviveCh <- struct{}{}:
+	default:
+	}
+}
+
+func (sh *shard) setRunning(cmd *exec.Cmd) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.cmd = cmd
+	sh.pid = cmd.Process.Pid
+	sh.state = stateRunning
+	sh.gen = make(chan struct{})
+	// Not routable yet: the health probe flips that once /healthz answers.
+}
+
+// setExited marks the current process gone: out of rotation immediately
+// (before the next probe tick could even notice) and the generation channel
+// closed so drain waiters wake.
+func (sh *shard) setExited() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.routable.Store(false)
+	sh.pid = 0
+	sh.cmd = nil
+	sh.state = stateDown
+	if sh.gen != nil {
+		close(sh.gen)
+		sh.gen = nil
+	}
+}
+
+func (sh *shard) setState(s string) {
+	sh.mu.Lock()
+	sh.state = s
+	if s != stateRunning {
+		sh.routable.Store(false)
+	}
+	sh.mu.Unlock()
+}
+
+// running returns the live process handle, or nil.
+func (sh *shard) running() (*exec.Cmd, chan struct{}) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.state != stateRunning {
+		return nil, nil
+	}
+	return sh.cmd, sh.gen
+}
+
+// signal delivers sig to the running worker; dropped when not running.
+func (sh *shard) signal(sig os.Signal) {
+	cmd, _ := sh.running()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Signal(sig)
+	}
+}
+
+// drain gracefully stops this shard's worker during cluster shutdown: out
+// of rotation, SIGTERM, wait up to timeout for the supervisor's Wait to
+// observe the exit, SIGKILL if the drain deadline passes. Called
+// sequentially per shard — the rolling part of the rolling drain.
+func (sh *shard) drain(timeout time.Duration) {
+	sh.routable.Store(false)
+	cmd, gen := sh.running()
+	if cmd == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-gen:
+		return
+	case <-time.After(timeout):
+	}
+	sh.cl.logf("shard %d: drain deadline exceeded; killing", sh.id)
+	cmd.Process.Kill()
+	<-gen
+}
+
+func (sh *shard) snapshot() ShardState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ShardState{
+		ID:       sh.id,
+		PID:      sh.pid,
+		State:    sh.state,
+		Routable: sh.routable.Load(),
+		Inflight: sh.inflight.Load(),
+		Restarts: sh.restarts.Load(),
+	}
+}
+
+// nextBackoff doubles toward max.
+func nextBackoff(cur, max time.Duration) time.Duration {
+	cur *= 2
+	if cur > max {
+		cur = max
+	}
+	return cur
+}
+
+// sleepOrStop sleeps d unless stop closes first; reports whether to keep
+// going.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

@@ -1,0 +1,27 @@
+//go:build linux
+
+package cluster
+
+import (
+	"os"
+	"os/exec"
+	"syscall"
+)
+
+// decorate sets the platform process attributes on a worker command: on
+// Linux, PDEATHSIG ensures a worker is killed by the kernel if the parent
+// dies without running its drain — no orphaned listeners squatting on the
+// socket dir. Stdout/stderr inherit the parent's unless the caller wired
+// its own.
+func decorate(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+	if cmd.Stdout == nil {
+		cmd.Stdout = os.Stdout
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package cluster
+
+import (
+	"os"
+	"os/exec"
+)
+
+// decorate wires worker stdio on platforms without parent-death signals;
+// orphan cleanup then relies on the rolling drain alone.
+func decorate(cmd *exec.Cmd) {
+	if cmd.Stdout == nil {
+		cmd.Stdout = os.Stdout
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many virtual nodes each shard contributes to the
+// consistent-hash ring. 64 points per shard keeps the load split within a
+// few percent of even for the single-digit shard counts a daemon runs.
+const ringVnodes = 64
+
+// hashRing maps a document digest to a preferred shard with the classic
+// consistent-hashing construction: every shard owns vnodes points on a
+// uint64 circle, and a key belongs to the first point at or after its hash.
+// Shard *slots* (not processes) own the points, so a restarted worker
+// inherits its predecessor's documents and the content-addressed index
+// cache keeps hitting across restarts — the whole reason affinity exists.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func newHashRing(shards, vnodes int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("shard-%d-vnode-%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// ringHash is 64-bit FNV-1a through a murmur-style finalizer. FNV alone is
+// stable and cheap but avalanches poorly on the near-identical vnode label
+// strings — unmixed, one shard ends up owning over half the ring. The
+// finalizer fixes the distribution while keeping the hash seedless and
+// stable across processes and runs, which the affinity contract requires.
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// lookup walks the ring from key's position and returns the first shard
+// accepted by ok (healthy, not already tried), visiting each shard at most
+// once; -1 when no shard qualifies.
+func (r *hashRing) lookup(key uint64, ok func(shard int) bool) int {
+	n := len(r.points)
+	if n == 0 {
+		return -1
+	}
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= key })
+	seen := make(map[int]bool, 8)
+	for i := 0; i < n; i++ {
+		p := r.points[(start+i)%n]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		if ok(p.shard) {
+			return p.shard
+		}
+	}
+	return -1
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The front router. Design constraints, in order:
+//
+//  1. A worker death must never surface to the client as a 5xx or a hang.
+//     Non-streamed responses are therefore *buffered*: the router holds the
+//     request body (for re-dispatch) and reads the worker's entire response
+//     before forwarding a byte, so any worker failure before that point —
+//     dial refused, connection reset mid-headers, response truncated
+//     mid-body — rolls back to trying another worker. Queries are pure
+//     reads, so re-dispatch is idempotent by construction; the worst case
+//     is a query evaluated twice.
+//  2. Streamed (NDJSON) responses cannot be buffered — bounded response
+//     memory is their whole point — so they forward frame-by-frame. Once
+//     the first frame has left for the client the stream is committed: a
+//     worker dying mid-stream gets a clean {"error": ...} trailer appended
+//     on a fresh line (the NDJSON framing survives because the router
+//     forwards only complete lines), never a silent truncation or a hang.
+//  3. Load balancing is least-inflight with consistent-hash affinity on the
+//     document digest: the affinity shard wins unless it is unhealthy or
+//     carrying AffinitySlack more in-flight requests than the least-loaded
+//     shard. Affinity keys the per-worker content-addressed index caches:
+//     the same document keeps landing on the same shard, so its mask index
+//     stays hot there instead of being rebuilt N times.
+//
+// Worker 4xx/5xx responses are forwarded as-is, never retried: a 429 is the
+// shard's admission gate doing its job, and re-dispatching shed load would
+// turn one overloaded shard into N.
+
+// routerMaxAttempts bounds failover re-dispatch; one full pass over the
+// shards plus one retry of a freshly restarted worker.
+func (c *Cluster) maxAttempts() int { return len(c.shards) + 1 }
+
+// handleProxy is POST /v1/query on the public listener.
+func (c *Cluster) handleProxy(w http.ResponseWriter, r *http.Request) {
+	c.met.proxied.Add(1)
+	start := time.Now()
+	defer func() { c.met.proxyNs.Add(int64(time.Since(start))) }()
+
+	if r.ContentLength > c.cfg.MaxBodyBytes {
+		routerError(w, http.StatusRequestEntityTooLarge, "limit",
+			fmt.Sprintf("request body of %d bytes exceeds the %d-byte limit", r.ContentLength, c.cfg.MaxBodyBytes))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		status, kind := http.StatusBadRequest, "bad_request"
+		if _, ok := err.(*http.MaxBytesError); ok {
+			status, kind = http.StatusRequestEntityTooLarge, "limit"
+		}
+		routerError(w, status, kind, "reading request body: "+err.Error())
+		return
+	}
+
+	key := c.affinityKey(r, body)
+	tried := make(map[int]bool, len(c.shards))
+	deadline := time.Now().Add(c.cfg.RouteWait)
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		sh := c.pick(key, tried)
+		if sh == nil {
+			// Nothing routable that we have not already tried. A restart is
+			// usually one backoff away; wait briefly with the tried-set
+			// cleared (a restarted worker is a fresh worker) rather than
+			// failing the request into a healthy-in-100ms cluster.
+			sh = c.waitRoutable(r, deadline)
+			if sh == nil {
+				c.met.noWorker.Add(1)
+				routerError(w, http.StatusServiceUnavailable, "overload",
+					"no healthy worker shard; retry shortly")
+				return
+			}
+			clear(tried)
+		}
+		tried[sh.id] = true
+		if c.forward(w, r, sh, body) {
+			return
+		}
+		c.met.failovers.Add(1)
+	}
+	c.met.badGateway.Add(1)
+	routerError(w, http.StatusBadGateway, "internal",
+		"request failed on every worker shard")
+}
+
+// affinityKey hashes the request's *document* so the same bytes keep
+// hitting the same shard's index cache. Raw-document and NDJSON forms (the
+// query rides in the URL) use the body verbatim; the JSON envelope form
+// extracts the "document" member so that different queries over one
+// document still share a shard. An unparseable envelope hashes the whole
+// body — the worker will reject it anyway, the route just has to be
+// deterministic.
+func (c *Cluster) affinityKey(r *http.Request, body []byte) uint64 {
+	doc := body
+	if r.URL.Query().Get("query") == "" && len(body) > 0 {
+		var env struct {
+			Document json.RawMessage `json:"document"`
+		}
+		if err := json.Unmarshal(body, &env); err == nil && len(env.Document) > 0 {
+			doc = env.Document
+		}
+	}
+	sum := sha256.Sum256(doc)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// pick selects the shard for this attempt: the ring's affinity choice when
+// it is routable, untried, and within AffinitySlack of the least-loaded
+// shard; the least-inflight routable untried shard otherwise.
+func (c *Cluster) pick(key uint64, tried map[int]bool) *shard {
+	var least *shard
+	var leastLoad int64
+	for _, sh := range c.shards {
+		if tried[sh.id] || !sh.routable.Load() {
+			continue
+		}
+		load := sh.inflight.Load()
+		if least == nil || load < leastLoad {
+			least, leastLoad = sh, load
+		}
+	}
+	if least == nil {
+		return nil
+	}
+	aff := c.ring.lookup(key, func(id int) bool {
+		return !tried[id] && c.shards[id].routable.Load()
+	})
+	if aff >= 0 && c.shards[aff].inflight.Load() <= leastLoad+c.cfg.AffinitySlack {
+		c.met.affinityHits.Add(1)
+		return c.shards[aff]
+	}
+	return least
+}
+
+// waitRoutable polls for any routable shard until the route deadline or the
+// client gives up.
+func (c *Cluster) waitRoutable(r *http.Request, deadline time.Time) *shard {
+	for {
+		for _, sh := range c.shards {
+			if sh.routable.Load() {
+				return sh
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		select {
+		case <-r.Context().Done():
+			return nil
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// forward sends the request to sh and relays the response. It reports true
+// when the client got an answer (success, a worker-authored error, or a
+// committed stream — even a truncated-with-trailer one) and false when the
+// attempt is retryable on another shard (transport failure with nothing
+// sent to the client).
+func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, sh *shard, body []byte) bool {
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		"http://worker"+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set("X-Rsonpathd-Shard", strconv.Itoa(sh.id))
+
+	resp, err := sh.client().Do(req)
+	if err != nil {
+		// Transport failure before any response: dial refused (worker dead,
+		// socket gone), reset mid-headers (killed while parsing), or a stale
+		// pooled connection. Nothing reached the client; retryable — unless
+		// the *client* is what went away.
+		if r.Context().Err() != nil {
+			return true
+		}
+		return false
+	}
+	defer resp.Body.Close()
+
+	if isNDJSON(resp.Header.Get("Content-Type")) {
+		c.relayStream(w, resp)
+		return true
+	}
+
+	// Buffered relay: the whole worker response must arrive intact before
+	// the client sees any of it, so a worker death mid-body stays retryable.
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return r.Context().Err() != nil
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(respBody)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+	return true
+}
+
+// relayStream forwards an NDJSON response line by line, flushing as it
+// goes. Only complete lines are forwarded; if the worker connection fails
+// mid-stream the client receives an {"error": ...} trailer on its own line
+// and the response ends — truncation is always explicit (the "done" trailer
+// is absent), never a hang.
+func (c *Cluster) relayStream(w http.ResponseWriter, resp *http.Response) {
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return // client went away; nothing to salvage
+		}
+		rc.Flush()
+	}
+	if err := sc.Err(); err != nil {
+		// The worker died (or the read timed out) mid-stream. The status
+		// line is long gone; the contract is the explicit error trailer.
+		c.met.streamTruncated.Add(1)
+		fmt.Fprintf(w, "{\"error\":{\"kind\":\"worker_lost\",\"message\":%s}}\n",
+			mustJSON("worker connection lost mid-stream: "+err.Error()))
+		rc.Flush()
+	}
+}
+
+// client returns the shard's pooled unix-socket HTTP client, created
+// lazily once.
+func (sh *shard) client() *http.Client {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.httpc == nil {
+		// No overall client timeout: request lifetime is governed by the
+		// client's own context and the workers' watchdog deadlines.
+		sh.httpc = unixClient(sh.socket, 0)
+	}
+	return sh.httpc
+}
+
+// CloseIdleConnections drops every shard client's idle pooled connections.
+// The chaos harness uses it to quiesce the parent before counting
+// goroutines and fds, so pool population does not read as a leak.
+func (c *Cluster) CloseIdleConnections() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		client := sh.httpc
+		sh.mu.Unlock()
+		if client != nil {
+			client.CloseIdleConnections()
+		}
+	}
+}
+
+// isNDJSON matches the streamed response Content-Type.
+func isNDJSON(ct string) bool {
+	return ct == "application/x-ndjson" || ct == "application/ndjson"
+}
+
+// copyHeaders copies end-to-end headers, dropping the hop-by-hop set.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		switch k {
+		case "Connection", "Transfer-Encoding", "Content-Length", "Keep-Alive":
+			continue
+		}
+		dst[k] = vs
+	}
+}
+
+// routerError writes the daemon's JSON error envelope shape from the
+// router itself.
+func routerError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":{\"kind\":%s,\"message\":%s}}\n", mustJSON(kind), mustJSON(msg))
+}
+
+// mustJSON marshals a string; cannot fail.
+func mustJSON(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestStreamKillYieldsErrorTrailer is the mid-stream crash contract, end to
+// end with real processes: a client consuming a streamed NDJSON response
+// whose worker is SIGKILLed mid-flight must receive an {"error": ...}
+// trailer on a clean frame boundary — never a hang, never a silent
+// truncation — while the supervisor restarts the worker and a follow-up
+// request succeeds.
+//
+// The timing is made deterministic by read-backpressure rather than sleeps:
+// the response is far larger than every buffer between worker and client,
+// so after the client reads the first frame and stops, the worker is
+// necessarily still mid-stream (blocked writing) when the kill lands.
+func TestStreamKillYieldsErrorTrailer(t *testing.T) {
+	cl, base := startTestCluster(t, Config{
+		Shards:        2,
+		WorkerCommand: testWorkerCommand("worker"),
+	})
+	waitRoutableShards(t, cl, 2, 10*time.Second)
+
+	// ~150k records; the values-mode response frames total several MB.
+	var body bytes.Buffer
+	for i := 0; i < 150_000; i++ {
+		fmt.Fprintf(&body, `{"a": %d, "pad": "%032d"}`+"\n", i, i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/query?query=%24.a&mode=values&stream=1", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	client := &http.Client{}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("stream request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status = %d body %.200s", resp.StatusCode, out)
+	}
+
+	// Read one frame, then stop consuming: backpressure pins the worker
+	// mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first frame: %v", sc.Err())
+	}
+	first := sc.Text()
+	if !strings.Contains(first, `"record"`) {
+		t.Fatalf("first frame %q is not a record frame", first)
+	}
+
+	// The shard with the in-flight request is the one serving our stream.
+	victim := -1
+	for _, st := range cl.ShardStates() {
+		if st.Inflight > 0 {
+			victim = st.ID
+			if err := syscall.Kill(st.PID, syscall.SIGKILL); err != nil {
+				t.Fatalf("kill pid %d: %v", st.PID, err)
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("no shard shows an in-flight request: %+v", cl.ShardStates())
+	}
+
+	// Drain the rest. The stream must terminate (ctx bounds a hang) with an
+	// error trailer and without a done trailer.
+	var last string
+	sawDone, sawError := false, false
+	for sc.Scan() {
+		last = sc.Text()
+		if strings.Contains(last, `"done"`) {
+			sawDone = true
+		}
+		if strings.Contains(last, `"error"`) {
+			sawError = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read failed instead of delivering a trailer: %v", err)
+	}
+	if sawDone {
+		t.Fatal("stream carries a done trailer despite the worker being killed mid-flight")
+	}
+	if !sawError {
+		t.Fatalf("stream ended without an error trailer; last frame: %.200s", last)
+	}
+	if !strings.Contains(last, "worker_lost") {
+		t.Errorf("trailer %.200s does not name worker_lost", last)
+	}
+
+	// The supervisor restarts the victim and a follow-up query succeeds.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := cl.ShardStates()[victim]
+		if st.Routable && st.Restarts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d never came back: %+v", victim, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp2, err := postQuery(base)
+	if err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+	out, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d body %s", resp2.StatusCode, out)
+	}
+	if got := cl.met.streamTruncated.Load(); got < 1 {
+		t.Errorf("streamTruncated counter = %d, want >= 1", got)
+	}
+}

@@ -59,6 +59,21 @@ type Config struct {
 	// and passes Query and Mode as URL parameters instead of wrapping
 	// everything in the JSON envelope.
 	RawContentType string
+	// OnResult, when set, observes every recorded request as it completes
+	// (concurrently, from the request's own goroutine). It lets a harness
+	// trace goodput over time — the chaos experiment's recovery windows —
+	// without loadgen growing a time-series model. Canceled end-of-run
+	// requests are not reported, matching the Report's own accounting.
+	OnResult func(Result)
+}
+
+// Result is one completed request as seen by Config.OnResult.
+type Result struct {
+	When     time.Time // completion time
+	Status   int       // HTTP status; 0 when the request never got one
+	Degraded bool
+	Latency  time.Duration
+	Err      error
 }
 
 // Report aggregates one load run.
@@ -69,9 +84,16 @@ type Config struct {
 // completed request; the Accepted percentiles cover only 200s, because
 // under overload the interesting number is what admitted requests
 // experienced, not the (fast) rejections averaged in.
+// Errors splits into ConnectErrors (the request never yielded an HTTP
+// status: dial refused, connection reset before headers, client timeout
+// with nothing back — the failures a dying server process causes) and
+// ReadErrors (a status arrived but the body read or decode failed —
+// truncation and garbling, which implicate the response path instead).
 type Report struct {
 	Requests       int            `json:"requests"`
 	Errors         int            `json:"errors"`
+	ConnectErrors  int            `json:"connect_errors"`
+	ReadErrors     int            `json:"read_errors"`
 	NonOK          int            `json:"non_ok"`
 	Shed           int            `json:"shed"`
 	Degraded       int            `json:"degraded"`
@@ -83,9 +105,12 @@ type Report struct {
 	LatencyP50MS   float64        `json:"latency_p50_ms"`
 	LatencyP90MS   float64        `json:"latency_p90_ms"`
 	LatencyP99MS   float64        `json:"latency_p99_ms"`
+	LatencyP999MS  float64        `json:"latency_p999_ms"`
 	LatencyMaxMS   float64        `json:"latency_max_ms"`
 	AcceptedP50MS  float64        `json:"accepted_p50_ms"`
 	AcceptedP99MS  float64        `json:"accepted_p99_ms"`
+	AcceptedP999MS float64        `json:"accepted_p999_ms"`
+	AcceptedMaxMS  float64        `json:"accepted_max_ms"`
 	StatusCounts   map[string]int `json:"status_counts"`
 }
 
@@ -101,13 +126,15 @@ type responseProbe struct {
 type collector struct {
 	mu            sync.Mutex
 	requests      int
-	errors        int
+	connectErrors int
+	readErrors    int
 	nonOK         int
 	shed          int
 	degraded      int
 	dropped       int
 	all, accepted []time.Duration
 	statuses      map[int]int
+	onResult      func(Result)
 }
 
 // record files one completed request. canceled marks a transport error that
@@ -118,12 +145,16 @@ func (c *collector) record(canceled bool, status int, degraded bool, d time.Dura
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.requests++
 	c.all = append(c.all, d)
 	switch {
+	case err != nil && status == 0:
+		c.connectErrors++
 	case err != nil:
-		c.errors++
+		// A status arrived before the body read failed; keep it in the
+		// per-code tally so a storm of truncated 200s is visible there too.
+		c.statuses[status]++
+		c.readErrors++
 	case status == http.StatusOK:
 		c.statuses[status]++
 		c.accepted = append(c.accepted, d)
@@ -136,6 +167,10 @@ func (c *collector) record(canceled bool, status int, degraded bool, d time.Dura
 	default:
 		c.statuses[status]++
 		c.nonOK++
+	}
+	c.mu.Unlock()
+	if c.onResult != nil {
+		c.onResult(Result{When: time.Now(), Status: status, Degraded: degraded, Latency: d, Err: err})
 	}
 }
 
@@ -227,7 +262,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	if ctype == "" {
 		ctype = "application/json"
 	}
-	col := &collector{statuses: make(map[int]int)}
+	col := &collector{statuses: make(map[int]int), onResult: cfg.OnResult}
 	start := time.Now()
 	var offered int
 	var offerWindow time.Duration
@@ -239,13 +274,15 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	elapsed := time.Since(start)
 
 	rep := Report{
-		Requests:     col.requests,
-		Errors:       col.errors,
-		NonOK:        col.nonOK,
-		Shed:         col.shed,
-		Degraded:     col.degraded,
-		Dropped:      col.dropped,
-		StatusCounts: make(map[string]int),
+		Requests:      col.requests,
+		Errors:        col.connectErrors + col.readErrors,
+		ConnectErrors: col.connectErrors,
+		ReadErrors:    col.readErrors,
+		NonOK:         col.nonOK,
+		Shed:          col.shed,
+		Degraded:      col.degraded,
+		Dropped:       col.dropped,
+		StatusCounts:  make(map[string]int),
 	}
 	for code, n := range col.statuses {
 		rep.StatusCounts[fmt.Sprint(code)] += n
@@ -263,11 +300,16 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	rep.LatencyP50MS = percentileMS(col.all, 0.50)
 	rep.LatencyP90MS = percentileMS(col.all, 0.90)
 	rep.LatencyP99MS = percentileMS(col.all, 0.99)
+	rep.LatencyP999MS = percentileMS(col.all, 0.999)
 	if n := len(col.all); n > 0 {
 		rep.LatencyMaxMS = float64(col.all[n-1]) / float64(time.Millisecond)
 	}
 	rep.AcceptedP50MS = percentileMS(col.accepted, 0.50)
 	rep.AcceptedP99MS = percentileMS(col.accepted, 0.99)
+	rep.AcceptedP999MS = percentileMS(col.accepted, 0.999)
+	if n := len(col.accepted); n > 0 {
+		rep.AcceptedMaxMS = float64(col.accepted[n-1]) / float64(time.Millisecond)
+	}
 	return rep, nil
 }
 

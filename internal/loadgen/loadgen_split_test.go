@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rsonpath/internal/server"
+)
+
+// TestLoadgenConnectErrorSplit points the generator at a port nothing
+// listens on: every request dies before an HTTP status exists, so the
+// whole error tally must land in ConnectErrors with ReadErrors at zero.
+func TestLoadgenConnectErrorSplit(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port; dials now get connection refused
+
+	rep, err := Run(context.Background(), Config{
+		URL:         "http://" + addr + "/v1/query",
+		Query:       "$.a",
+		Mode:        "count",
+		Concurrency: 2,
+		Requests:    10,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.ConnectErrors != 10 || rep.ReadErrors != 0 {
+		t.Errorf("connect=%d read=%d, want 10/0", rep.ConnectErrors, rep.ReadErrors)
+	}
+	if rep.Errors != rep.ConnectErrors+rep.ReadErrors {
+		t.Errorf("Errors=%d is not the sum of the split (%d+%d)",
+			rep.Errors, rep.ConnectErrors, rep.ReadErrors)
+	}
+}
+
+// TestLoadgenReadErrorSplit serves a 200 whose body is cut short of its
+// declared Content-Length — the status arrived, the body read failed — and
+// expects the error classified as a ReadError, with the status still
+// tallied under its code.
+func TestLoadgenReadErrorSplit(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Length", "1000")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"trunc`)) // 7 of 1000 bytes, then the handler returns
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:      srv.URL,
+		Query:    "$.a",
+		Mode:     "count",
+		Requests: 5,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.ReadErrors != 5 || rep.ConnectErrors != 0 {
+		t.Errorf("read=%d connect=%d, want 5/0", rep.ReadErrors, rep.ConnectErrors)
+	}
+	if rep.StatusCounts["200"] != 5 {
+		t.Errorf("status counts %v do not record the 200s that preceded the failed reads", rep.StatusCounts)
+	}
+}
+
+// TestLoadgenOnResult checks the per-request observation hook: one call per
+// recorded request, carrying the status and a plausible latency, without
+// perturbing the aggregate report.
+func TestLoadgenOnResult(t *testing.T) {
+	url := startDaemon(t, server.Config{Timeout: 5 * time.Second})
+	var mu sync.Mutex
+	var results []Result
+	rep, err := Run(context.Background(), Config{
+		URL:         url,
+		Query:       "$..b",
+		Mode:        "count",
+		Document:    []byte(`{"a": {"b": 1}, "b": 2}`),
+		Concurrency: 4,
+		Requests:    50,
+		OnResult: func(r Result) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(results) != rep.Requests {
+		t.Fatalf("hook fired %d times for %d recorded requests", len(results), rep.Requests)
+	}
+	for i, r := range results {
+		if r.Status != http.StatusOK || r.Err != nil || r.Latency <= 0 || r.When.IsZero() {
+			t.Fatalf("result %d implausible: %+v", i, r)
+		}
+	}
+}
+
+// TestLoadgenTailPercentiles sanity-checks the new tail fields: p99.9 sits
+// between p99 and max for both the all-requests and accepted-only series.
+func TestLoadgenTailPercentiles(t *testing.T) {
+	url := startDaemon(t, server.Config{Timeout: 5 * time.Second})
+	rep, err := Run(context.Background(), Config{
+		URL:         url,
+		Query:       "$..b",
+		Mode:        "count",
+		Document:    []byte(`{"a": {"b": 1}}`),
+		Concurrency: 4,
+		Requests:    200,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.LatencyP999MS < rep.LatencyP99MS || rep.LatencyMaxMS < rep.LatencyP999MS {
+		t.Errorf("all-requests tail out of order: p99=%.3f p99.9=%.3f max=%.3f",
+			rep.LatencyP99MS, rep.LatencyP999MS, rep.LatencyMaxMS)
+	}
+	if rep.AcceptedP999MS < rep.AcceptedP99MS || rep.AcceptedMaxMS < rep.AcceptedP999MS {
+		t.Errorf("accepted tail out of order: p99=%.3f p99.9=%.3f max=%.3f",
+			rep.AcceptedP99MS, rep.AcceptedP999MS, rep.AcceptedMaxMS)
+	}
+	if rep.AcceptedMaxMS <= 0 {
+		t.Errorf("AcceptedMaxMS = %.3f, want > 0", rep.AcceptedMaxMS)
+	}
+}

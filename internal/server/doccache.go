@@ -167,6 +167,20 @@ func (c *docCache) evictOver() {
 	}
 }
 
+// purge empties the cache (SIGHUP flush), keeping the lifetime build and
+// eviction counters. Resident bytes drop to zero; promoted indexes are
+// rebuilt on re-promotion like any cold document.
+func (c *docCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[[sha256.Size]byte]*list.Element)
+	c.lru.Init()
+	c.resident = 0
+}
+
 // len returns the current entry count.
 func (c *docCache) len() int {
 	if c == nil {

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPanicRecovery drives a panicking handler through the recovery
+// middleware: the client gets a 500 JSON error envelope, the panic counter
+// shows up in /metrics, and the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	s := New(Config{})
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom in handler")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/query", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"internal"`) || !strings.Contains(body, "boom in handler") {
+		t.Fatalf("body %q is not the JSON error envelope for the panic", body)
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "rsonpathd_panics_total 1") {
+		t.Fatalf("metrics do not report the panic:\n%s", rec.Body.String())
+	}
+}
+
+// TestPanicAfterWriteAborts verifies the other half of the contract: once
+// response bytes are out, the middleware cannot write a 500, so it aborts
+// the connection instead of appending garbage to a half-sent body.
+func TestPanicAfterWriteAborts(t *testing.T) {
+	s := New(Config{})
+	h := s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"partial":`)
+		panic("boom mid-body")
+	}))
+	defer func() {
+		if v := recover(); !errors.Is(v.(error), http.ErrAbortHandler) {
+			t.Fatalf("recovered %v, want http.ErrAbortHandler", v)
+		}
+		if got := s.met.panics.Load(); got != 1 {
+			t.Fatalf("panics counter = %d, want 1", got)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/query", nil))
+	t.Fatal("handler did not re-panic")
+}
+
+// TestFlushResetsCaches checks SIGHUP's backing method: a warm query cache
+// stops hitting after Flush, and the flush is counted and exported.
+func TestFlushResetsCaches(t *testing.T) {
+	s := New(Config{})
+	post := func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/query",
+			strings.NewReader(`{"query": "$..b", "mode": "count", "document": {"a": {"b": 1}}}`))
+		req.Header.Set("Content-Type", "application/json")
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query status = %d body %s", rec.Code, rec.Body.String())
+		}
+	}
+	post()
+	post() // second request hits the compiled-query cache
+
+	metrics := func() string {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		return rec.Body.String()
+	}
+	before := metrics()
+	if !strings.Contains(before, "rsonpathd_cache_flushes_total 0") {
+		t.Fatalf("expected zero flushes before Flush:\n%s", before)
+	}
+
+	s.Flush()
+	if got := s.Flushes(); got != 1 {
+		t.Fatalf("Flushes() = %d, want 1", got)
+	}
+	hitsBefore := s.cache.Stats().Hits
+	post() // compiles again: the flush emptied the cache
+	if got := s.cache.Stats().Hits; got != hitsBefore {
+		t.Fatalf("query hit the cache after Flush (hits %d -> %d)", hitsBefore, got)
+	}
+	if !strings.Contains(metrics(), "rsonpathd_cache_flushes_total 1") {
+		t.Fatalf("metrics do not report the flush:\n%s", metrics())
+	}
+}
+
+// TestUnixSocketListen serves over a unix domain socket via the
+// "unix:/path" address form the cluster workers use, and checks /healthz
+// reports the configured shard identity.
+func TestUnixSocketListen(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "worker.sock")
+	s := New(Config{Addr: "unix:" + sock, Shard: "7"})
+	if err := s.Listen(); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+
+	client := &http.Client{Transport: &http.Transport{
+		Dial: func(string, string) (net.Conn, error) { return net.Dial("unix", sock) },
+	}}
+	resp, err := client.Get("http://worker/healthz")
+	if err != nil {
+		t.Fatalf("healthz over unix socket: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(out), `"shard": "7"`) && !strings.Contains(string(out), `"shard":"7"`) {
+		t.Fatalf("healthz body %s does not carry the shard identity", out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	s.Shutdown(ctx)
+	cancel()
+	<-done
+
+	// Stale-socket removal: a dead socket file at the same path must not
+	// block the next boot, or a crashed worker could never be restarted.
+	if err := os.WriteFile(sock, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Addr: "unix:" + sock})
+	if err := s2.Listen(); err != nil {
+		t.Fatalf("second Listen over stale socket: %v", err)
+	}
+	done = make(chan error, 1)
+	go func() { done <- s2.Serve() }()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	s2.Shutdown(ctx2)
+	<-done
+}

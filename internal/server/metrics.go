@@ -30,6 +30,8 @@ type metrics struct {
 	docBuilds  atomic.Int64 // document indexes built
 	durationNs atomic.Int64 // summed /v1/query wall time
 	streamed   atomic.Int64 // responses streamed incrementally
+	flushes    atomic.Int64 // SIGHUP cache flushes performed
+	panics     atomic.Int64 // handler panics converted to 500s
 
 	// Admission-control counters (DESIGN.md §14): every arrival is either
 	// admitted or shed for exactly one of the reasons below. errOverload
@@ -84,6 +86,8 @@ func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges, adm adm
 	p("rsonpathd_errors_overload_total", "counter", m.errOverload.Load())
 	p("rsonpathd_ndjson_records_total", "counter", m.ndjsonRecs.Load())
 	p("rsonpathd_streamed_responses_total", "counter", m.streamed.Load())
+	p("rsonpathd_cache_flushes_total", "counter", m.flushes.Load())
+	p("rsonpathd_panics_total", "counter", m.panics.Load())
 	p("rsonpathd_query_cache_hits_total", "counter", cache.hits)
 	p("rsonpathd_query_cache_misses_total", "counter", cache.misses)
 	p("rsonpathd_query_cache_evictions_total", "counter", cache.evictions)

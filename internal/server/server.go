@@ -26,7 +26,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"rsonpath"
@@ -35,8 +38,15 @@ import (
 
 // Config is the daemon configuration; the zero value serves with defaults.
 type Config struct {
-	// Addr is the listen address, e.g. ":8077" or "127.0.0.1:0".
+	// Addr is the listen address, e.g. ":8077" or "127.0.0.1:0". A
+	// "unix:/path" address listens on a unix domain socket instead (stale
+	// socket files are removed first) — the transport cluster workers serve
+	// on (DESIGN.md §15).
 	Addr string
+	// Shard identifies this instance inside a cluster ("0", "1", ...); it is
+	// reported by /healthz so the supervisor's probes and the logs can tell
+	// workers apart. Empty outside cluster mode.
+	Shard string
 	// QueryCacheSize bounds the compiled-query LRU; <= 0 selects
 	// rsonpath.DefaultQueryCacheSize.
 	QueryCacheSize int
@@ -145,15 +155,16 @@ type setRunner interface {
 // Server is one daemon instance. Create with New; Serve on a listener or
 // use ListenAndServe; stop with Shutdown.
 type Server struct {
-	cfg     Config
-	cache   *rsonpath.QueryCache
-	docs    *docCache
-	met     metrics
-	http    *http.Server
-	lis     net.Listener
-	gate    *admission.Gate
-	brown   *admission.Brownout // nil unless Config.Brownout
-	breaker *admission.Breaker  // nil unless Config.Breaker (and fallback on)
+	cfg      Config
+	cache    *rsonpath.QueryCache
+	docs     *docCache
+	met      metrics
+	http     *http.Server
+	lis      net.Listener
+	gate     *admission.Gate
+	brown    *admission.Brownout // nil unless Config.Brownout
+	breaker  *admission.Breaker  // nil unless Config.Breaker (and fallback on)
+	draining atomic.Bool         // set by Shutdown; /healthz answers 503
 
 	// compileQuery/compileLines/compileSet produce the runner for a request;
 	// the defaults resolve through the compiled-query cache. The NF variants
@@ -237,11 +248,81 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	s.http = &http.Server{
-		Handler:           mux,
+		Handler:           s.recoverPanics(mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s
 }
+
+// recoverPanics converts a handler panic into a JSON 500 plus the
+// rsonpathd_panics_total counter. net/http would recover a panic anyway, but
+// silently: the connection dies, nothing is counted, and neither the chaos
+// gate nor the cluster supervisor's crash-loop detector can see that
+// anything happened. http.ErrAbortHandler keeps its meaning (deliberate
+// abort, no body) but is still counted. If the response already started —
+// a streamed run panicking mid-body — the status line is gone; the panic is
+// counted and the connection is closed hard by re-panicking, so the client
+// sees truncation rather than a silently short 200.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pw := &panicWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			s.met.panics.Add(1)
+			if pw.wrote || v == http.ErrAbortHandler {
+				panic(http.ErrAbortHandler)
+			}
+			s.met.errIntern.Add(1)
+			writeJSON(w, http.StatusInternalServerError, &errorBody{Error: errorDetail{
+				Kind: "internal", Message: fmt.Sprintf("handler panic: %v", v)}})
+		}()
+		next.ServeHTTP(pw, r)
+	})
+}
+
+// panicWriter remembers whether the response has started, which decides
+// whether a recovered panic can still become a 500.
+type panicWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *panicWriter) WriteHeader(status int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *panicWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// flush/deadline support through the panic tracker.
+func (w *panicWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Flush empties the compiled-query and document-index caches and returns the
+// admission subsystem's adaptive state (brownout ladder, fallback breaker)
+// to baseline. Wired to SIGHUP in cmd/rsonpathd: the operator's "forget what
+// you have learned" knob after a deploy or a data change, logged and counted
+// in rsonpathd_cache_flushes_total.
+func (s *Server) Flush() {
+	s.cache.Purge()
+	s.docs.purge()
+	if s.brown != nil {
+		s.brown.Reset()
+	}
+	if s.breaker != nil {
+		s.breaker.Reset()
+	}
+	s.met.flushes.Add(1)
+}
+
+// Flushes reports how many Flush calls the server has served, for logs.
+func (s *Server) Flushes() int64 { return s.met.flushes.Load() }
 
 // baseOptions translates Config into compile options, deadline excluded.
 func (s *Server) baseOptions() []rsonpath.Option {
@@ -320,9 +401,18 @@ func (s *Server) occupancy() float64 {
 func (s *Server) Handler() http.Handler { return s.http.Handler }
 
 // Listen opens the configured address. Separate from Serve so a caller
-// (and the tests) can learn the bound address of ":0" before serving.
+// (and the tests) can learn the bound address of ":0" before serving. A
+// "unix:/path" address binds a unix domain socket, removing any stale
+// socket file left by a previous (crashed) process first — the file is this
+// process's to claim, because the cluster supervisor hands each worker a
+// distinct path.
 func (s *Server) Listen() error {
-	lis, err := net.Listen("tcp", s.cfg.Addr)
+	network, addr := "tcp", s.cfg.Addr
+	if path, ok := strings.CutPrefix(s.cfg.Addr, "unix:"); ok {
+		network, addr = "unix", path
+		os.Remove(path)
+	}
+	lis, err := net.Listen(network, addr)
 	if err != nil {
 		return err
 	}
@@ -364,6 +454,7 @@ func (s *Server) ListenAndServe() error {
 // expires first the remaining connections are closed forcibly, so Shutdown
 // returns within the caller's deadline either way.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	err := s.http.Shutdown(ctx)
 	if err != nil {
 		s.http.Close()
@@ -376,7 +467,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // an overloaded daemon is alive and shedding by design, and failing the
 // liveness probe under load would turn an overload into an outage.
 type healthReport struct {
-	Status        string  `json:"status"` // "ok" or "overloaded"
+	Status        string  `json:"status"` // "ok", "overloaded", or "draining"
+	Shard         string  `json:"shard,omitempty"`
 	BrownoutLevel int     `json:"brownout_level"`
 	Pressure      float64 `json:"pressure"`
 	Breaker       string  `json:"breaker"`
@@ -390,10 +482,14 @@ type healthReport struct {
 	} `json:"gate"`
 }
 
-// handleHealthz is the liveness probe with the overload report.
+// handleHealthz is the liveness probe with the overload report. An
+// overloaded daemon still answers 200 — it is alive and shedding by design —
+// but a *draining* one answers 503: Shutdown has been called, the listener
+// is closing, and a router that keeps sending here is sending to a wall.
+// The 503 is what health-gates cluster membership during rolling drains.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.gate.Snapshot()
-	rep := healthReport{Status: "ok", BrownoutLevel: s.brownoutLevel(), Breaker: "off"}
+	rep := healthReport{Status: "ok", Shard: s.cfg.Shard, BrownoutLevel: s.brownoutLevel(), Breaker: "off"}
 	if s.brown != nil {
 		rep.Pressure = s.brown.Pressure()
 	}
@@ -408,6 +504,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	rep.Gate.BytesBudget = snap.BytesBudget
 	if rep.BrownoutLevel > 0 || (snap.QueueCap > 0 && snap.QueueDepth >= snap.QueueCap) {
 		rep.Status = "overloaded"
+	}
+	if s.draining.Load() {
+		rep.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, &rep)
+		return
 	}
 	writeJSON(w, http.StatusOK, &rep)
 }
