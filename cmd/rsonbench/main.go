@@ -27,6 +27,7 @@ import (
 	"rsonpath/internal/bench"
 	"rsonpath/internal/cluster"
 	"rsonpath/internal/server"
+	"rsonpath/internal/simd"
 )
 
 // chaosWorkerEnv re-enters this binary as one chaos-cluster worker process:
@@ -202,9 +203,20 @@ func run(h *bench.Harness, exp, jsonDir string) error {
 		if err != nil {
 			return err
 		}
-		rep := bench.SWARReport{Kernels: kernels, IndexedRepeat: repeat}
+		rep := bench.SWARReport{
+			Backend:       simd.Backend(),
+			Backends:      simd.Backends(),
+			Kernels:       kernels,
+			IndexedRepeat: repeat,
+		}
 		bench.RenderSWAR(w, rep)
-		return writeJSON(jsonDir, "swar", rep)
+		if err := writeJSON(jsonDir, "swar", rep); err != nil {
+			return err
+		}
+		// The acceptance gate doubles as the CI smoke check: hardware
+		// kernels that fail to clear the SWAR fallback by the DESIGN.md §16
+		// floors fail the run.
+		return bench.CheckSimd(rep)
 
 	case "serve":
 		fmt.Fprintln(w, "== Serving: rsonpathd query-cache and document-index hot paths ==")

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rsonpath/internal/simd"
 )
 
 // cli drives run() with an in-memory environment and returns the exit
@@ -235,5 +237,37 @@ func TestCLIExplain(t *testing.T) {
 	code, _, stderr = cli(t, `{"a": 1}`, "-count", "$..a")
 	if code != exitOK || strings.Contains(stderr, "plan") {
 		t.Fatalf("code %d stderr %q", code, stderr)
+	}
+}
+
+// TestCLISimdBackendOverride asserts the -simd flag round-trips: the forced
+// backend is applied, reported by -explain, and restored afterwards, and an
+// unknown backend is a usage error. Results must not depend on the backend.
+func TestCLISimdBackendOverride(t *testing.T) {
+	prev := simd.Backend()
+	defer func() {
+		if err := simd.SetBackend(prev); err != nil {
+			t.Fatalf("restoring backend %s: %v", prev, err)
+		}
+	}()
+	doc := `{"a": 1, "b": {"a": [2, 3]}}`
+	for _, name := range simd.Backends() {
+		code, out, stderr := cli(t, doc, "-simd", name, "-explain", "-count", "$..a")
+		if code != exitOK {
+			t.Fatalf("-simd %s: code %d stderr %q", name, code, stderr)
+		}
+		if !strings.Contains(stderr, "simd backend: "+name) {
+			t.Fatalf("-simd %s: explain did not report the forced backend: %q", name, stderr)
+		}
+		if out != "2\n" {
+			t.Fatalf("-simd %s: out %q, want \"2\\n\"", name, out)
+		}
+		if got := simd.Backend(); got != name {
+			t.Fatalf("-simd %s left backend %q", name, got)
+		}
+	}
+	code, _, stderr := cli(t, doc, "-simd", "no-such-backend", "$..a")
+	if code != exitUsage || !strings.Contains(stderr, "not available") {
+		t.Fatalf("unknown backend: code %d stderr %q", code, stderr)
 	}
 }

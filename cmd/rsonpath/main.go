@@ -62,6 +62,7 @@ import (
 	"strings"
 
 	"rsonpath"
+	"rsonpath/internal/simd"
 )
 
 // Exit codes; documented in the package comment and the usage text.
@@ -109,6 +110,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fallback = fs.String("fallback", "on", "degrade to the DOM oracle on internal faults: on or off")
 		parallel = fs.Int("parallel", 1, "with -lines: evaluate records with this many workers (0 = GOMAXPROCS)")
 		index    = fs.Bool("index", false, "with -e/-queries: buffer the document, classify it once into a reusable mask index, and evaluate each query against the index")
+		simdPick = fs.String("simd", os.Getenv(simd.EnvBackend), "force a classification kernel backend (swar, avx2; default: best for this CPU, or $"+simd.EnvBackend+")")
 	)
 	fs.Var(&exprs, "e", "query expression (repeatable; scans the document once for all queries)")
 	fs.Usage = func() {
@@ -119,6 +121,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *simdPick != "" {
+		if err := simd.SetBackend(*simdPick); err != nil {
+			fmt.Fprintln(stderr, "rsonpath:", err)
+			return exitUsage
+		}
+	}
+	if *explain {
+		fmt.Fprintf(stderr, "rsonpath: simd backend: %s (available: %s)\n",
+			simd.Backend(), strings.Join(simd.Backends(), ", "))
 	}
 
 	queries := []string(exprs)

@@ -54,6 +54,7 @@ import (
 
 	"rsonpath/internal/cluster"
 	"rsonpath/internal/server"
+	"rsonpath/internal/simd"
 )
 
 func main() {
@@ -88,6 +89,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		docBytes   = fs.Int64("doc-cache-bytes", 0, "resident-byte bound on the indexed-document cache (0 = entry-count bound only)")
 		bodyRead   = fs.Duration("body-read-timeout", 30*time.Second, "deadline for reading an admitted request body (0 = none)")
 		parallel   = fs.Int("parallel", 0, "NDJSON worker-pool width (0 = GOMAXPROCS)")
+		simdPick   = fs.String("simd", os.Getenv(simd.EnvBackend), "force a classification kernel backend (swar, avx2; default: best for this CPU, or $"+simd.EnvBackend+"); reported by /version and /metrics")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		version    = fs.String("version", "dev", "version string reported by /version")
 
@@ -114,6 +116,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *fallback != "on" && *fallback != "off" {
 		fmt.Fprintf(stderr, "rsonpathd: -fallback must be on or off, not %q\n", *fallback)
 		return 2
+	}
+	if *simdPick != "" {
+		// Applied before any server (or worker re-exec: workerArgs forwards
+		// the flag) touches a document; also covers the cluster parent.
+		if err := simd.SetBackend(*simdPick); err != nil {
+			fmt.Fprintln(stderr, "rsonpathd:", err)
+			return 2
+		}
 	}
 	if *shards > 1 && *workerSocket != "" {
 		fmt.Fprintln(stderr, "rsonpathd: -shards and -worker-socket are mutually exclusive")

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rsonpath/internal/simd"
 )
 
 // startDaemon runs the daemon's run() in-process on a loopback port and
@@ -102,6 +104,46 @@ func TestDaemonFlagValidation(t *testing.T) {
 		if code != 2 {
 			t.Errorf("case %d (%v): exit = %d, want 2", i, args, code)
 		}
+	}
+}
+
+// TestDaemonSimdFlag round-trips the -simd override: every available
+// backend boots a daemon whose /version reports that backend, and an
+// unavailable backend is a usage error, not a silent fallback.
+func TestDaemonSimdFlag(t *testing.T) {
+	prev := simd.Backend()
+	defer func() {
+		if err := simd.SetBackend(prev); err != nil {
+			t.Fatalf("restoring backend %q: %v", prev, err)
+		}
+	}()
+	for _, name := range simd.Backends() {
+		base, cancel, exit := startDaemon(t, "-simd", name)
+		resp, err := http.Get(base + "/version")
+		if err != nil {
+			t.Fatalf("-simd %s: version: %v", name, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if want := `"simd":"` + name + `"`; !strings.Contains(string(out), want) {
+			t.Errorf("-simd %s: /version = %s, want %s", name, out, want)
+		}
+		cancel()
+		select {
+		case <-exit:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("-simd %s: daemon did not exit", name)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var stderr strings.Builder
+	if code := run(ctx, []string{"-simd", "avx512-unobtainium"}, io.Discard, &stderr); code != 2 {
+		t.Fatalf("unknown backend: exit = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "not available") {
+		t.Fatalf("unknown backend stderr = %q, want a not-available error", stderr.String())
 	}
 }
 

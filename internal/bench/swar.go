@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"rsonpath"
@@ -11,14 +12,22 @@ import (
 )
 
 // SWARKernelResult compares batched against per-block classification over
-// one dataset, at two levels: the raw-mask kernels alone (BatchRawMasks vs
-// a loop of the per-block kernels producing the same six masks) and the
-// full plane build (BuildPlanes vs a per-block Stream walk serving the same
-// information). Serialised into BENCH_swar.json.
+// one dataset under one kernel backend, at two levels: the raw-mask kernels
+// alone (BatchRawMasks vs a loop of the per-block kernels producing the
+// same six masks) and the full plane build (BuildPlanes vs a per-block
+// Stream walk serving the same information). One row is emitted per
+// available backend — on an AVX2 host both the native row and the
+// forced-SWAR row, so the hardware kernels' margin is measured on the same
+// machine. Serialised into BENCH_swar.json.
 type SWARKernelResult struct {
 	Dataset string `json:"dataset"`
+	// Backend is the simd backend forced for this row's batch kernel and
+	// plane build ("swar", "avx2", ...).
+	Backend string `json:"backend"`
 	Bytes   int    `json:"bytes"`
-	// Raw-mask kernels: six masks per block, no quote carry.
+	// Raw-mask kernels: six masks per block, no quote carry. The per-block
+	// baseline always runs the portable word-at-a-time kernels, whatever
+	// the forced backend, so it anchors every row to the same yardstick.
 	BatchKernelGBps    float64 `json:"batch_kernel_gbps"`
 	PerBlockKernelGBps float64 `json:"per_block_kernel_gbps"`
 	KernelSpeedup      float64 `json:"kernel_speedup"`
@@ -27,6 +36,15 @@ type SWARKernelResult struct {
 	StreamWalkGBps  float64 `json:"stream_walk_gbps"`
 	PlanesSpeedup   float64 `json:"planes_speedup"`
 }
+
+// Acceptance floors for CheckSimd: on a host with hardware kernels, the
+// hardware batch sweep must beat forced SWAR by SimdKernelFloor and the
+// whole plane build by SimdPlanesFloor (the build amortises the sequential
+// quote-carry pass, which no backend can vectorize, hence the lower bar).
+const (
+	SimdKernelFloor = 2.5
+	SimdPlanesFloor = 1.5
+)
 
 // IndexedRepeatResult compares N cold Query.Run passes against N warm
 // RunIndexed passes over one prebuilt index, the IndexedDocument headline
@@ -50,6 +68,11 @@ type IndexedRepeatResult struct {
 
 // SWARReport is the BENCH_swar.json payload.
 type SWARReport struct {
+	// Backend is the backend active outside forced rows — what every other
+	// experiment and production run on this host uses.
+	Backend string `json:"backend"`
+	// Backends lists every backend available on the recording host.
+	Backends      []string              `json:"backends"`
 	Kernels       []SWARKernelResult    `json:"kernels"`
 	IndexedRepeat []IndexedRepeatResult `json:"indexed_repeat"`
 }
@@ -119,12 +142,15 @@ func timeGBps(bytes, passes int, f func()) float64 {
 }
 
 // RunSWARKernels measures batched vs per-block classification throughput
-// over the given datasets.
+// over the given datasets, once per kernel backend available on this host
+// (each backend is forced for its rows and the previous one restored).
 func (h *Harness) RunSWARKernels(datasets []string) ([]SWARKernelResult, error) {
 	passes := h.Samples
 	if passes < 3 {
 		passes = 3
 	}
+	prev := simd.Backend()
+	defer func() { _ = simd.SetBackend(prev) }()
 	var out []SWARKernelResult
 	for _, name := range datasets {
 		data, err := h.Dataset(name)
@@ -137,14 +163,10 @@ func (h *Harness) RunSWARKernels(datasets []string) ([]SWARKernelResult, error) 
 			planes[i] = make([]uint64, n)
 		}
 
-		r := SWARKernelResult{Dataset: name, Bytes: len(data)}
-		r.BatchKernelGBps = timeGBps(len(data), passes, func() {
-			blocks := simd.BatchRawMasks(data, planes[0], planes[1], planes[2], planes[3], planes[4], planes[5])
-			if blocks > 0 {
-				Sink ^= planes[1][blocks/2]
-			}
-		})
-		r.PerBlockKernelGBps = timeGBps(len(data), passes, func() {
+		// The per-block baseline and the stream walk run the portable
+		// word-at-a-time kernels regardless of the forced backend; measure
+		// them once per dataset and anchor every backend row to them.
+		perBlock := timeGBps(len(data), passes, func() {
 			var b simd.Block
 			for i := 0; i < n; i++ {
 				simd.LoadBlock(&b, data[i*simd.BlockSize:(i+1)*simd.BlockSize], ' ')
@@ -156,15 +178,11 @@ func (h *Harness) RunSWARKernels(datasets []string) ([]SWARKernelResult, error) 
 				planes[2][i], planes[3][i] = opens, closes
 				planes[4][i], planes[5][i] = commas, colons
 			}
-			Sink ^= planes[1][n/2]
-		})
-		r.BuildPlanesGBps = timeGBps(len(data), passes, func() {
-			p := classifier.BuildPlanes(data)
-			if p.Blocks() > 0 {
-				Sink ^= p.Quote[p.Blocks()/2]
+			if n > 0 {
+				Sink ^= planes[1][n/2]
 			}
 		})
-		r.StreamWalkGBps = timeGBps(len(data), passes, func() {
+		streamWalk := timeGBps(len(data), passes, func() {
 			s := classifier.NewStream(data)
 			for !s.Exhausted() {
 				opens, closes := simd.BracketMasks(s.Block())
@@ -178,15 +196,91 @@ func (h *Harness) RunSWARKernels(datasets []string) ([]SWARKernelResult, error) 
 			}
 		})
 
-		if r.PerBlockKernelGBps > 0 {
-			r.KernelSpeedup = r.BatchKernelGBps / r.PerBlockKernelGBps
+		for _, backend := range simd.Backends() {
+			if err := simd.SetBackend(backend); err != nil {
+				return nil, fmt.Errorf("swar: forcing backend %s: %w", backend, err)
+			}
+			r := SWARKernelResult{
+				Dataset:            name,
+				Backend:            backend,
+				Bytes:              len(data),
+				PerBlockKernelGBps: perBlock,
+				StreamWalkGBps:     streamWalk,
+			}
+			r.BatchKernelGBps = timeGBps(len(data), passes, func() {
+				blocks := simd.BatchRawMasks(data, planes[0], planes[1], planes[2], planes[3], planes[4], planes[5])
+				if blocks > 0 {
+					Sink ^= planes[1][blocks/2]
+				}
+			})
+			r.BuildPlanesGBps = timeGBps(len(data), passes, func() {
+				p := classifier.BuildPlanes(data)
+				if p.Blocks() > 0 {
+					Sink ^= p.Quote[p.Blocks()/2]
+				}
+			})
+			if r.PerBlockKernelGBps > 0 {
+				r.KernelSpeedup = r.BatchKernelGBps / r.PerBlockKernelGBps
+			}
+			if r.StreamWalkGBps > 0 {
+				r.PlanesSpeedup = r.BuildPlanesGBps / r.StreamWalkGBps
+			}
+			out = append(out, r)
 		}
-		if r.StreamWalkGBps > 0 {
-			r.PlanesSpeedup = r.BuildPlanesGBps / r.StreamWalkGBps
+		if err := simd.SetBackend(prev); err != nil {
+			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
+}
+
+// CheckSimd is the acceptance gate over the kernel rows (run by CI next to
+// CheckPlanner and CheckOverload): for every dataset measured under both a
+// hardware backend and forced SWAR on the same host, the hardware batch
+// kernel must be at least SimdKernelFloor times the SWAR batch kernel and
+// the hardware plane build at least SimdPlanesFloor times the SWAR build.
+// On hosts with no hardware backend there is nothing to compare and the
+// gate passes.
+func CheckSimd(rep SWARReport) error {
+	type pair struct{ swar, hw *SWARKernelResult }
+	byDataset := map[string]*pair{}
+	for i := range rep.Kernels {
+		r := &rep.Kernels[i]
+		p := byDataset[r.Dataset]
+		if p == nil {
+			p = &pair{}
+			byDataset[r.Dataset] = p
+		}
+		if r.Backend == "swar" {
+			p.swar = r
+		} else {
+			p.hw = r
+		}
+	}
+	var bad []string
+	for dataset, p := range byDataset {
+		if p.swar == nil || p.hw == nil {
+			continue // single-backend host: nothing to gate
+		}
+		if p.swar.BatchKernelGBps > 0 {
+			if ratio := p.hw.BatchKernelGBps / p.swar.BatchKernelGBps; ratio < SimdKernelFloor {
+				bad = append(bad, fmt.Sprintf(
+					"%s: %s batch kernel is only %.2f× swar (%.2f vs %.2f GB/s), floor %.1f×",
+					dataset, p.hw.Backend, ratio, p.hw.BatchKernelGBps, p.swar.BatchKernelGBps, SimdKernelFloor))
+			}
+		}
+		if p.swar.BuildPlanesGBps > 0 {
+			if ratio := p.hw.BuildPlanesGBps / p.swar.BuildPlanesGBps; ratio < SimdPlanesFloor {
+				bad = append(bad, fmt.Sprintf(
+					"%s: %s plane build is only %.2f× swar (%.2f vs %.2f GB/s), floor %.1f×",
+					dataset, p.hw.Backend, ratio, p.hw.BuildPlanesGBps, p.swar.BuildPlanesGBps, SimdPlanesFloor))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("simd acceptance failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // RunIndexedRepeat measures the repeated-query workload at each N: the cold
@@ -283,11 +377,13 @@ func (h *Harness) RunIndexedRepeat(dataset string, ns []int) ([]IndexedRepeatRes
 
 // RenderSWAR prints the report as aligned text tables.
 func RenderSWAR(w io.Writer, rep SWARReport) {
-	fmt.Fprintf(w, "%-10s %10s | %12s %12s %8s | %12s %12s %8s\n",
-		"dataset", "MiB", "batch GB/s", "blk GB/s", "speedup", "planes GB/s", "walk GB/s", "speedup")
+	fmt.Fprintf(w, "active simd backend: %s (available: %s)\n",
+		rep.Backend, strings.Join(rep.Backends, ", "))
+	fmt.Fprintf(w, "%-10s %-8s %10s | %12s %12s %8s | %12s %12s %8s\n",
+		"dataset", "backend", "MiB", "batch GB/s", "blk GB/s", "speedup", "planes GB/s", "walk GB/s", "speedup")
 	for _, r := range rep.Kernels {
-		fmt.Fprintf(w, "%-10s %10.1f | %12.2f %12.2f %7.2fx | %12.2f %12.2f %7.2fx\n",
-			r.Dataset, float64(r.Bytes)/(1<<20),
+		fmt.Fprintf(w, "%-10s %-8s %10.1f | %12.2f %12.2f %7.2fx | %12.2f %12.2f %7.2fx\n",
+			r.Dataset, r.Backend, float64(r.Bytes)/(1<<20),
 			r.BatchKernelGBps, r.PerBlockKernelGBps, r.KernelSpeedup,
 			r.BuildPlanesGBps, r.StreamWalkGBps, r.PlanesSpeedup)
 	}

@@ -42,26 +42,34 @@ type Planes struct {
 func (p *Planes) Blocks() int { return len(p.Quote) }
 
 // BuildPlanes classifies data once with the batched kernels and returns the
-// mask planes. The sweep is two passes over cache-resident state: the fused
-// raw sweep (simd.BatchRawMasks) touches the document bytes exactly once,
-// and a sequential carry pass — quote parity and escapes cannot be
-// parallelized across blocks — then resolves the escape-dependent masks in
-// place, a handful of word operations per block.
+// mask planes. The sweep is three passes over cache-resident state: the
+// fused raw sweep (simd.BatchRawMasks, hardware-accelerated where the CPU
+// allows) touches the document bytes exactly once; a sequential carry
+// pass — quote parity and escapes cannot be parallelized across blocks —
+// resolves the escape-dependent masks in place; and a vectorized
+// simd.AndNot pass then clears in-string positions from the four symbol
+// planes.
+//
+// Plane geometry is kernel-friendly by construction: one backing array,
+// 32-byte aligned (simd.AlignedWords), with every plane's capacity rounded
+// up to whole vector lanes (simd.RoundWords) so the vector passes can run
+// lane-rounded lengths with no scalar tail — the padding words belong to
+// the plane's own reserved region and stay zero. The alignment/rounding
+// invariants are pinned by TestPlanesAlignment.
 func BuildPlanes(data []byte) *Planes {
 	n := (len(data) + simd.BlockSize - 1) / simd.BlockSize
-	backing := make([]uint64, 6*n)
-	p := &Planes{
-		Quote:    backing[0*n : 1*n : 1*n],
-		InString: backing[1*n : 2*n : 2*n],
-		Opens:    backing[2*n : 3*n : 3*n],
-		Closes:   backing[3*n : 4*n : 4*n],
-		Commas:   backing[4*n : 5*n : 5*n],
-		Colons:   backing[5*n : 6*n : 6*n],
-		Len:      len(data),
-	}
+	rn := simd.RoundWords(n)
+	backing := simd.AlignedWords(6 * rn)
+	p := &Planes{Len: len(data)}
 	if n == 0 {
 		return p
 	}
+	p.Quote = backing[0*rn : 0*rn+n : 1*rn]
+	p.InString = backing[1*rn : 1*rn+n : 2*rn]
+	p.Opens = backing[2*rn : 2*rn+n : 3*rn]
+	p.Closes = backing[3*rn : 3*rn+n : 4*rn]
+	p.Commas = backing[4*rn : 4*rn+n : 5*rn]
+	p.Colons = backing[5*rn : 5*rn+n : 6*rn]
 	// Raw sweep. The two escape-dependent planes temporarily hold their raw
 	// precursors — backslashes in InString, raw quotes in Quote — which the
 	// carry pass below consumes and overwrites in place.
@@ -74,17 +82,18 @@ func BuildPlanes(data []byte) *Planes {
 	}
 	var qs quoteState
 	for i := 0; i < n; i++ {
-		quotes, inString := qs.classifyMasks(p.InString[i], p.Quote[i])
-		p.Quote[i] = quotes
-		p.InString[i] = inString
-		notStr := ^inString
-		p.Opens[i] &= notStr
-		p.Closes[i] &= notStr
-		p.Commas[i] &= notStr
-		p.Colons[i] &= notStr
+		p.Quote[i], p.InString[i] = qs.classifyMasks(p.InString[i], p.Quote[i])
 	}
 	p.EndInString = qs.prevInString != 0
 	p.EndEscaped = qs.prevEscaped != 0
+	// Symbol pre-masking, vectorized: extending every slice to the
+	// lane-rounded capacity keeps the kernels free of scalar tails; the
+	// padding words are zero on both sides, so they stay zero.
+	inStr := p.InString[:rn]
+	simd.AndNot(p.Opens[:rn], inStr)
+	simd.AndNot(p.Closes[:rn], inStr)
+	simd.AndNot(p.Commas[:rn], inStr)
+	simd.AndNot(p.Colons[:rn], inStr)
 	return p
 }
 
@@ -92,9 +101,5 @@ func BuildPlanes(data []byte) *Planes {
 // (both kinds, outside strings) in the document — the cheap whole-document
 // screen Index uses to reject unbalanced input before any run.
 func (p *Planes) BracketBalance() (opens, closes int) {
-	for i := range p.Opens {
-		opens += simd.Popcount(p.Opens[i])
-		closes += simd.Popcount(p.Closes[i])
-	}
-	return opens, closes
+	return simd.PopcountWords(p.Opens), simd.PopcountWords(p.Closes)
 }

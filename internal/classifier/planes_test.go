@@ -2,6 +2,7 @@ package classifier
 
 import (
 	"testing"
+	"unsafe"
 
 	"rsonpath/internal/input"
 	"rsonpath/internal/simd"
@@ -85,14 +86,77 @@ func planesCorpus() [][]byte {
 	return docs
 }
 
-func TestPlanesEquivalence(t *testing.T) {
-	for i, data := range planesCorpus() {
-		checkPlanesEquivalence(t, data, input.NewBytes(data), "bytes")
-		for _, window := range []int{64, 128, 256} {
-			checkPlanesEquivalence(t, data,
-				input.NewBuffered(&chunkReader{data: data, n: 7}, window), "buffered")
+// forEachBackend runs f once per kernel backend available on this host,
+// forcing it for the duration: the planes must be bit-identical whichever
+// hardware path built them.
+func forEachBackend(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	prev := simd.Backend()
+	defer func() {
+		if err := simd.SetBackend(prev); err != nil {
+			t.Fatalf("restoring backend %s: %v", prev, err)
 		}
-		_ = i
+	}()
+	for _, name := range simd.Backends() {
+		if err := simd.SetBackend(name); err != nil {
+			t.Fatalf("SetBackend(%q): %v", name, err)
+		}
+		t.Run("simd="+name, f)
+	}
+}
+
+func TestPlanesEquivalence(t *testing.T) {
+	forEachBackend(t, func(t *testing.T) {
+		for i, data := range planesCorpus() {
+			checkPlanesEquivalence(t, data, input.NewBytes(data), "bytes")
+			for _, window := range []int{64, 128, 256} {
+				checkPlanesEquivalence(t, data,
+					input.NewBuffered(&chunkReader{data: data, n: 7}, window), "buffered")
+			}
+			_ = i
+		}
+	})
+}
+
+// TestPlanesAlignment pins the plane-allocation invariants the vector
+// kernels rely on: every plane 32-byte aligned, capacity rounded to whole
+// vector lanes so lane-rounded passes never need a scalar tail, padding
+// words zero, and the whole build a constant number of allocations.
+func TestPlanesAlignment(t *testing.T) {
+	for _, bytes := range []int{1, 63, 64, 65, 64 * simd.VecWords, 64*simd.VecWords + 1, 4096, 10000} {
+		data := make([]byte, bytes)
+		for i := range data {
+			data[i] = "{}[]:,\"x "[i%9]
+		}
+		p := BuildPlanes(data)
+		n := (bytes + simd.BlockSize - 1) / simd.BlockSize
+		rn := simd.RoundWords(n)
+		for name, plane := range map[string][]uint64{
+			"Quote": p.Quote, "InString": p.InString, "Opens": p.Opens,
+			"Closes": p.Closes, "Commas": p.Commas, "Colons": p.Colons,
+		} {
+			if len(plane) != n {
+				t.Fatalf("%d bytes: len(%s) = %d, want %d", bytes, name, len(plane), n)
+			}
+			if cap(plane) != rn {
+				t.Fatalf("%d bytes: cap(%s) = %d, want lane-rounded %d", bytes, name, cap(plane), rn)
+			}
+			if addr := uintptr(unsafe.Pointer(&plane[:1][0])); addr%simd.VecAlign != 0 {
+				t.Fatalf("%d bytes: %s base %#x not %d-byte aligned", bytes, name, addr, simd.VecAlign)
+			}
+			for i, w := range plane[n:rn] {
+				if w != 0 {
+					t.Fatalf("%d bytes: %s padding word %d = %#x, want 0", bytes, name, n+i, w)
+				}
+			}
+		}
+	}
+	// The whole build is a constant three allocations: the backing array,
+	// the struct, and the padded tail block (which escapes through the
+	// backend dispatch's function pointer) — never per-block garbage.
+	data := []byte(`{"a": [1, 2, {"b": "x,y:z"}], "c": null}`)
+	if allocs := testing.AllocsPerRun(50, func() { _ = BuildPlanes(data) }); allocs > 3 {
+		t.Fatalf("BuildPlanes allocates %v times per run, want <= 3", allocs)
 	}
 }
 
@@ -104,8 +168,15 @@ func FuzzPlanesEquivalence(f *testing.F) {
 		f.Add(data)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		checkPlanesEquivalence(t, data, input.NewBytes(data), "bytes")
-		checkPlanesEquivalence(t, data,
-			input.NewBuffered(&chunkReader{data: data, n: 7}, 64), "buffered")
+		prev := simd.Backend()
+		defer func() { _ = simd.SetBackend(prev) }()
+		for _, name := range simd.Backends() {
+			if err := simd.SetBackend(name); err != nil {
+				t.Fatalf("SetBackend(%q): %v", name, err)
+			}
+			checkPlanesEquivalence(t, data, input.NewBytes(data), "bytes/"+name)
+			checkPlanesEquivalence(t, data,
+				input.NewBuffered(&chunkReader{data: data, n: 7}, 64), "buffered/"+name)
+		}
 	})
 }

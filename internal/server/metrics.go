@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rsonpath/internal/planner"
+	"rsonpath/internal/simd"
 )
 
 // metrics is the daemon's counter set, exposition-format compatible with
@@ -121,6 +122,10 @@ func (m *metrics) render(w io.Writer, cache cacheGauges, docs docGauges, adm adm
 		time.Duration(m.durationNs.Load()).Seconds())
 	fmt.Fprintf(w, "# TYPE rsonpathd_request_duration_seconds_count counter\nrsonpathd_request_duration_seconds_count %d\n",
 		m.requests.Load())
+	// The one labelled series: the classification kernel backend serving
+	// this process, as an info-style constant gauge (DESIGN.md §16).
+	fmt.Fprintf(w, "# TYPE rsonpathd_simd_backend gauge\nrsonpathd_simd_backend{name=%q} 1\n",
+		simd.Backend())
 }
 
 // cacheGauges, docGauges and admGauges decouple the renderer from the

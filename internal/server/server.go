@@ -34,6 +34,7 @@ import (
 
 	"rsonpath"
 	"rsonpath/internal/admission"
+	"rsonpath/internal/simd"
 )
 
 // Config is the daemon configuration; the zero value serves with defaults.
@@ -545,6 +546,6 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 		version = "dev"
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"name":"rsonpathd","version":%q,"engine":"rsonpath","go":%q}`+"\n",
-		version, runtime.Version())
+	fmt.Fprintf(w, `{"name":"rsonpathd","version":%q,"engine":"rsonpath","go":%q,"simd":%q}`+"\n",
+		version, runtime.Version(), simd.Backend())
 }

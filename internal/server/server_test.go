@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rsonpath"
+	"rsonpath/internal/simd"
 )
 
 // startServer boots a daemon on an ephemeral port and tears it down with
@@ -474,6 +475,53 @@ func TestServeMetricsAndCacheCounters(t *testing.T) {
 			t.Fatalf("%s: %v (%v)", path, err, resp)
 		}
 		resp.Body.Close()
+	}
+}
+
+// TestServeSimdBackendSurfaced forces each available classification backend
+// in turn and asserts both /version and /metrics report it, so operators can
+// always tell which kernels a process is running (DESIGN.md §16).
+func TestServeSimdBackendSurfaced(t *testing.T) {
+	prev := simd.Backend()
+	defer func() {
+		if err := simd.SetBackend(prev); err != nil {
+			t.Fatalf("restoring backend %q: %v", prev, err)
+		}
+	}()
+	_, url := startServer(t, Config{})
+	for _, name := range simd.Backends() {
+		if err := simd.SetBackend(name); err != nil {
+			t.Fatalf("SetBackend(%q): %v", name, err)
+		}
+		get := func(path string) string {
+			resp, err := http.Get(url + path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", path, resp.StatusCode, raw)
+			}
+			return string(raw)
+		}
+		var ver struct {
+			Simd string `json:"simd"`
+		}
+		body := get("/version")
+		if err := json.Unmarshal([]byte(body), &ver); err != nil {
+			t.Fatalf("backend %s: /version %q: %v", name, body, err)
+		}
+		if ver.Simd != name {
+			t.Errorf("backend %s: /version simd = %q", name, ver.Simd)
+		}
+		want := fmt.Sprintf("rsonpathd_simd_backend{name=%q} 1", name)
+		if met := get("/metrics"); !strings.Contains(met, want) {
+			t.Errorf("backend %s: /metrics missing %q", name, want)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package simd
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // This file holds the batched classification kernels: instead of classifying
 // one 64-byte block per call through several single-purpose passes
@@ -26,12 +29,13 @@ const (
 	bit5Fold       = 0x2020202020202020 // folds '['/']' onto '{'/'}' (see BracketMasks)
 )
 
-// RawMasks computes the six raw per-block masks of one padded block in a
+// rawMasksSWAR computes the six raw per-block masks of one padded block in a
 // single pass over its bytes: backslashes, double quotes (escaped or not),
 // opening and closing brackets of both kinds, commas, and colons. It is the
-// per-block form of BatchRawMasks, used for the final partial block and as
-// the reference implementation in tests.
-func RawMasks(b *Block) (backslash, quote, opens, closes, commas, colons uint64) {
+// per-block form of batchRawMasksSWAR, the universal fallback behind the
+// dispatched RawMasks, and the bit-identity reference every hardware backend
+// is fuzzed against.
+func rawMasksSWAR(b *Block) (backslash, quote, opens, closes, commas, colons uint64) {
 	for i := 0; i < BlockSize; i += 8 {
 		w := word(b, i)
 		backslash |= movemaskZero(w^batchBackslash) << uint(i)
@@ -45,17 +49,15 @@ func RawMasks(b *Block) (backslash, quote, opens, closes, commas, colons uint64)
 	return
 }
 
-// BatchRawMasks sweeps every full 64-byte block of data in one loop, storing
-// block i's raw masks at index i of each destination plane. Every
-// destination must hold at least len(data)/BlockSize words; the number of
-// full blocks processed is returned (the caller pads and classifies the
-// partial tail, if any, with LoadBlock + RawMasks).
+// batchRawMasksSWAR sweeps every full 64-byte block of data in one loop,
+// storing block i's raw masks at index i of each destination plane. It is
+// the universal fallback behind the dispatched BatchRawMasks.
 //
 // The body is unrolled by hand: gc does not unroll loops, and with the
 // 8-word loop written out every mask shift is a constant and the eight
 // detect chains are independent, which is where the batch layer's advantage
 // over per-block calls comes from.
-func BatchRawMasks(data []byte, backslash, quote, opens, closes, commas, colons []uint64) int {
+func batchRawMasksSWAR(data []byte, backslash, quote, opens, closes, commas, colons []uint64) int {
 	n := len(data) / BlockSize
 	if n == 0 {
 		return 0
@@ -139,4 +141,33 @@ func BatchRawMasks(data []byte, backslash, quote, opens, closes, commas, colons 
 			movemaskZero(w7^batchClose)<<56
 	}
 	return n
+}
+
+// andNotSWAR clears in dst every bit set in m: dst[i] &^= m[i]. Fallback
+// behind the dispatched AndNot; unrolled by four to match the vector
+// backends' lane width.
+func andNotSWAR(dst, m []uint64) {
+	n := len(dst)
+	m = m[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] &^= m[i]
+		dst[i+1] &^= m[i+1]
+		dst[i+2] &^= m[i+2]
+		dst[i+3] &^= m[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] &^= m[i]
+	}
+}
+
+// popcountWordsSWAR sums the population count of every word of p. Fallback
+// behind the dispatched PopcountWords; bits.OnesCount64 compiles to a single
+// POPCNT where available, so the fallback is already word-parallel.
+func popcountWordsSWAR(p []uint64) int {
+	total := 0
+	for _, w := range p {
+		total += bits.OnesCount64(w)
+	}
+	return total
 }

@@ -1,0 +1,39 @@
+package simd
+
+// Hand-rolled CPU feature detection: the module is dependency-free by
+// design, so instead of golang.org/x/sys/cpu we ask the hardware directly.
+// AVX2 use requires three independent yeses (Intel SDM vol. 1 §14.7.1):
+// the CPU advertises AVX2, the CPU advertises OSXSAVE+AVX, and the OS has
+// actually enabled XMM+YMM state saving in XCR0 — skipping the last check
+// faults on kernels that mask AVX state (some VMs do).
+
+// cpuid executes CPUID with the given leaf/subleaf. Implemented in
+// cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0. Only valid to call when
+// CPUID reports OSXSAVE. Implemented in cpu_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2 reports whether AVX2 kernels can run on this CPU + OS.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27 // CPUID.1:ECX
+		avxBit     = 1 << 28 // CPUID.1:ECX
+		avx2Bit    = 1 << 5  // CPUID.7.0:EBX
+		xcr0YMM    = 0x6     // XCR0: SSE (bit 1) and AVX (bit 2) state
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&xcr0YMM != xcr0YMM {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&avx2Bit != 0
+}

@@ -1,0 +1,159 @@
+package simd
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"unsafe"
+)
+
+// This file is the runtime backend dispatch layer (DESIGN.md §16). A backend
+// is one implementation of the hot kernels — the six-mask raw sweep and the
+// plane post-processing primitives — selected once at init: the best
+// hardware backend the CPU supports wins, SWAR is the universal fallback
+// compiled on every GOARCH, and the RSONPATH_SIMD environment variable (or
+// SetBackend, behind the CLI/daemon -simd flags) forces a specific one so
+// both paths stay testable on any host.
+//
+// Every backend must be bit-identical to SWAR on all six masks; the
+// differential fuzzers (FuzzBackendEquivalence here, FuzzPlanesEquivalence
+// in internal/classifier) and the backend-matrix CI jobs pin that.
+
+// EnvBackend is the environment variable consulted at init (and by the
+// -simd flags' default) to force a backend by name.
+const EnvBackend = "RSONPATH_SIMD"
+
+// backend bundles one implementation of the dispatched kernels.
+type backend struct {
+	name string
+	// rawMasks is the per-block kernel (padded final block, tests).
+	rawMasks func(b *Block) (backslash, quote, opens, closes, commas, colons uint64)
+	// batchRawMasks is the multi-block sweep over full blocks of data.
+	batchRawMasks func(data []byte, backslash, quote, opens, closes, commas, colons []uint64) int
+	// andNot clears dst's bits where m's are set (len(m) >= len(dst)).
+	andNot func(dst, m []uint64)
+	// popcountWords sums the set bits of a whole plane.
+	popcountWords func(p []uint64) int
+}
+
+var swarBackend = backend{
+	name:          "swar",
+	rawMasks:      rawMasksSWAR,
+	batchRawMasks: batchRawMasksSWAR,
+	andNot:        andNotSWAR,
+	popcountWords: popcountWordsSWAR,
+}
+
+// backends holds every backend compiled in AND supported by this CPU, in
+// preference order: index 0 is the fallback, the last entry the fastest.
+var backends = []backend{swarBackend}
+
+// active is the backend behind the exported kernels. It is written during
+// package init and by SetBackend (startup flags and tests); the hot paths
+// read it without synchronization, so forcing a backend while queries run
+// concurrently is not supported.
+var active backend
+
+func init() {
+	registerArch()
+	active = backends[len(backends)-1]
+	if name := os.Getenv(EnvBackend); name != "" {
+		// A forced backend this binary or CPU lacks degrades to the best
+		// available one rather than failing init: the env var is a testing
+		// lever, and "swar" must be forceable everywhere while "avx2" simply
+		// does not exist on an arm64 build. Backend() reports the truth.
+		_ = SetBackend(name)
+	}
+}
+
+// Backend returns the name of the active kernel backend ("swar", "avx2").
+func Backend() string { return active.name }
+
+// Backends returns the names of every backend usable on this host, in
+// preference order (fallback first). The result is a fresh slice.
+func Backends() []string {
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.name
+	}
+	return names
+}
+
+// SetBackend forces the named backend. It returns an error naming the
+// available choices when the backend is unknown, not compiled into this
+// GOARCH, or not supported by the CPU. Not safe to call concurrently with
+// running queries: it is meant for process startup (flags, env) and tests.
+func SetBackend(name string) error {
+	for _, b := range backends {
+		if b.name == name {
+			active = b
+			return nil
+		}
+	}
+	avail := Backends()
+	sort.Strings(avail)
+	return fmt.Errorf("simd: backend %q not available on this host (have %v)", name, avail)
+}
+
+// RawMasks computes the six raw per-block masks of one padded block with the
+// active backend: backslashes, double quotes (escaped or not), opening and
+// closing brackets of both kinds, commas, and colons. It is the per-block
+// form of BatchRawMasks, used for the final partial block.
+func RawMasks(b *Block) (backslash, quote, opens, closes, commas, colons uint64) {
+	return active.rawMasks(b)
+}
+
+// BatchRawMasks sweeps every full 64-byte block of data with the active
+// backend, storing block i's raw masks at index i of each destination
+// plane. Every destination must hold at least len(data)/BlockSize words;
+// the number of full blocks processed is returned (the caller pads and
+// classifies the partial tail, if any, with LoadBlock + RawMasks).
+func BatchRawMasks(data []byte, backslash, quote, opens, closes, commas, colons []uint64) int {
+	return active.batchRawMasks(data, backslash, quote, opens, closes, commas, colons)
+}
+
+// AndNot clears in dst every bit set in m: dst[i] &^= m[i] for i < len(dst).
+// m must be at least as long as dst. This is the plane post-processing
+// primitive behind classifier.BuildPlanes' &^inString masking; vector
+// backends process VecWords words per step, so callers that can pass
+// lane-rounded lengths (see RoundWords) avoid the scalar tail entirely.
+func AndNot(dst, m []uint64) {
+	active.andNot(dst, m)
+}
+
+// PopcountWords sums the set bits of every word of p, the whole-plane
+// popcount behind classifier.(*Planes).BracketBalance.
+func PopcountWords(p []uint64) int {
+	return active.popcountWords(p)
+}
+
+// Vector-lane geometry shared by every hardware backend and by the plane
+// allocator: a 256-bit register holds VecWords mask words and wants
+// VecAlign-byte alignment.
+const (
+	// VecWords is the number of 64-bit mask words a vector kernel step
+	// consumes; plane capacities are rounded to whole multiples of it.
+	VecWords = 4
+	// VecAlign is the byte alignment AlignedWords guarantees (one 256-bit
+	// register; also what a future NEON/SVE backend would want or better).
+	VecAlign = 32
+)
+
+// RoundWords rounds a word count up to a whole number of vector lanes.
+func RoundWords(n int) int { return (n + VecWords - 1) &^ (VecWords - 1) }
+
+// AlignedWords allocates a zeroed []uint64 of length words whose backing
+// array starts VecAlign-byte aligned. Callers that additionally want
+// overrun-safe capacity round words up with RoundWords first. Go's heap
+// does not move allocations, so the alignment holds for the slice's life.
+func AlignedWords(words int) []uint64 {
+	if words <= 0 {
+		return nil
+	}
+	raw := make([]uint64, words+VecAlign/8-1)
+	off := 0
+	for uintptr(unsafe.Pointer(&raw[off]))%VecAlign != 0 {
+		off++
+	}
+	return raw[off : off+words : off+words]
+}

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package simd
+
+// registerArch is a no-op on targets without hardware kernels: SWAR is the
+// only backend. A NEON backend would add a dispatch_arm64.go mirroring
+// dispatch_amd64.go (see DESIGN.md §16 for the porting checklist).
+func registerArch() {}
